@@ -1,0 +1,115 @@
+// Ablation: S-RTO design parameters (DESIGN.md §5).
+//   - T1, the packets_out threshold for arming the probe (paper: 5 web / 10
+//     cloud),
+//   - T2, the cwnd floor below which the probe does not halve cwnd
+//     (paper: 5),
+//   - the probe timer multiple of SRTT (paper: 2).
+// Reports mean/p90 short-flow latency and the retransmission-ratio cost.
+#include <cstdio>
+
+#include "common.h"
+#include "stats/cdf.h"
+#include "util/strings.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+namespace {
+
+struct Outcome {
+  double mean_lat = 0, p90_lat = 0;
+  double retrans_pct = 0;
+  std::uint64_t rto_fires = 0, probes = 0;
+};
+
+Outcome run_with(std::optional<tcp::SrtoConfig> srto, std::size_t flows) {
+  workload::ExperimentConfig cfg;
+  cfg.profile = workload::web_search_profile();
+  cfg.flows = flows;
+  cfg.seed = kBenchSeed;
+  cfg.analyze = false;
+  if (srto) {
+    cfg.recovery = tcp::RecoveryMechanism::kSrto;
+    cfg.srto = srto;
+  }
+  const auto res = workload::run_experiment(cfg);
+  Outcome out;
+  stats::Cdf lat;
+  for (const auto& o : res.outcomes) {
+    out.rto_fires += o.sender_stats.rto_fires;
+    out.probes += o.sender_stats.srto_probes;
+    for (const auto& r : o.metrics.requests) {
+      if (r.completed && r.server_acked_resp != TimePoint()) {
+        lat.add(r.latency().sec());
+      }
+    }
+  }
+  if (!lat.empty()) {
+    out.mean_lat = lat.mean();
+    out.p90_lat = lat.percentile(0.9);
+  }
+  out.retrans_pct = res.retrans_ratio() * 100.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t flows = flows_per_service(600);
+  print_banner("Ablation: S-RTO parameters (T1, T2, probe timer)",
+               "design choices of Alg. 1 (paper §5.1)", flows);
+
+  const auto native = run_with(std::nullopt, flows);
+  std::printf("native Linux baseline: mean=%.3fs p90=%.3fs retrans=%.1f%% "
+              "rtos=%llu\n\n",
+              native.mean_lat, native.p90_lat, native.retrans_pct,
+              static_cast<unsigned long long>(native.rto_fires));
+
+  stats::Table t;
+  t.set_header({"variant", "mean lat", "p90 lat", "retrans%", "RTO fires",
+                "probes"});
+  auto add = [&](const std::string& name, tcp::SrtoConfig cfg) {
+    const auto o = run_with(cfg, flows);
+    t.add_row({name, str_format("%+.1f%%", (o.mean_lat - native.mean_lat) /
+                                               native.mean_lat * 100),
+               str_format("%+.1f%%",
+                          (o.p90_lat - native.p90_lat) / native.p90_lat * 100),
+               str_format("%.1f%%", o.retrans_pct),
+               str_format("%llu", static_cast<unsigned long long>(o.rto_fires)),
+               str_format("%llu", static_cast<unsigned long long>(o.probes))});
+  };
+
+  tcp::SrtoConfig base;
+  base.t1 = 5;  // the paper's web-search setting
+  base.t2 = 5;
+  base.probe_rtt_mult = 2.0;
+  add("paper (T1=5,T2=5,2xRTT)", base);
+
+  for (std::uint32_t t1 : {2u, 10u, 20u}) {
+    auto v = base;
+    v.t1 = t1;
+    add(str_format("T1=%u", t1), v);
+  }
+  for (std::uint32_t t2 : {0u, 2u, 20u}) {
+    auto v = base;
+    v.t2 = t2;
+    add(str_format("T2=%u", t2), v);
+  }
+  for (double mult : {1.5, 3.0, 4.0}) {
+    auto v = base;
+    v.probe_rtt_mult = mult;
+    add(str_format("probe=%.1fxRTT", mult), v);
+  }
+  {
+    // The paper's stated future work: suppress unnecessary probes.
+    auto v = base;
+    v.adaptive = true;
+    add("adaptive (future work)", v);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nreading: larger T1 arms the probe more often (fewer RTOs, "
+              "more probes); shorter probe timers\nrecover faster but "
+              "retransmit more; T2 trades cwnd caution against recovery "
+              "speed.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: sensitivity of TAPO's stall detection to the threshold
+// multiplier tau (the paper sets tau = 2: a sender should move at least one
+// packet every 2 RTTs).
+#include <cstdio>
+
+#include "common.h"
+#include "util/strings.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+int main() {
+  const std::size_t flows = flows_per_service();
+  print_banner("Ablation: stall threshold tau in min(tau*SRTT, RTO)",
+               "stall definition (paper §2.2)", flows);
+
+  stats::Table t;
+  t.set_header({"tau", "cloud stalls", "cloud time(s)", "soft stalls",
+                "soft time(s)", "web stalls", "web time(s)"});
+  for (double tau : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    workload::ExperimentConfig base;
+    base.analyzer.tau = tau;
+    std::vector<std::string> row{str_format("%.1f%s", tau,
+                                            tau == 2.0 ? " (paper)" : "")};
+    for (auto svc : {workload::Service::kCloudStorage,
+                     workload::Service::kSoftwareDownload,
+                     workload::Service::kWebSearch}) {
+      workload::ExperimentConfig cfg = base;
+      cfg.profile = workload::profile_for(svc);
+      cfg.flows = flows;
+      cfg.seed = kBenchSeed;
+      const auto res = workload::run_experiment(cfg);
+      const auto bd = analysis::make_stall_breakdown(res.analyses);
+      row.push_back(str_format("%llu",
+                               static_cast<unsigned long long>(bd.total_count)));
+      row.push_back(str_format("%.0f", bd.total_time.sec()));
+    }
+    t.add_row(row);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nreading: stall counts fall monotonically with tau; tau=2 "
+              "captures RTO-scale gaps while\nignoring ordinary ack-clock "
+              "jitter.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace tapo::bench {
+
+std::size_t flows_per_service(std::size_t dflt) {
+  if (const char* env = std::getenv("TAPO_BENCH_FLOWS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return dflt;
+}
+
+std::vector<ServiceRun> run_all_services(std::size_t flows, std::uint64_t seed,
+                                         bool analyze) {
+  std::vector<ServiceRun> runs;
+  for (auto svc : {workload::Service::kCloudStorage,
+                   workload::Service::kSoftwareDownload,
+                   workload::Service::kWebSearch}) {
+    workload::ExperimentConfig cfg;
+    cfg.profile = workload::profile_for(svc);
+    cfg.flows = flows;
+    cfg.seed = seed;
+    cfg.analyze = analyze;
+    runs.push_back({svc, workload::run_experiment(cfg)});
+  }
+  return runs;
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  std::size_t flows) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s  |  flows/service: %zu  |  seed: %llu\n",
+              paper_ref.c_str(), flows,
+              static_cast<unsigned long long>(kBenchSeed));
+  std::printf("(absolute numbers differ from the paper's testbed; compare "
+              "shapes/orderings)\n");
+  std::printf("==================================================================\n");
+}
+
+void print_cdf(const std::string& name, const stats::Cdf& cdf,
+               const std::string& unit, const std::vector<double>& quantiles) {
+  if (cdf.empty()) {
+    std::printf("%-28s (no samples)\n", name.c_str());
+    return;
+  }
+  std::printf("%-28s n=%-8zu", name.c_str(), cdf.count());
+  for (double q : quantiles) {
+    std::printf(" p%-2.0f=%-9.3g", q * 100, cdf.percentile(q));
+  }
+  std::printf("%s\n", unit.c_str());
+}
+
+std::string vs_paper(double measured, double paper, const char* fmt) {
+  return str_format(fmt, measured) + " (paper " + str_format(fmt, paper) + ")";
+}
+
+}  // namespace tapo::bench

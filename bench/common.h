@@ -1,0 +1,48 @@
+// Shared plumbing for the bench binaries: runs the calibrated service
+// workloads, and prints paper-vs-measured tables.
+//
+// Every bench accepts the environment variable TAPO_BENCH_FLOWS to scale
+// the number of simulated flows per service (default 400). Seeds are fixed
+// so output is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/cdf.h"
+#include "stats/table.h"
+#include "tapo/report.h"
+#include "workload/experiment.h"
+
+namespace tapo::bench {
+
+/// Flow count per service: TAPO_BENCH_FLOWS env var, else `dflt`.
+std::size_t flows_per_service(std::size_t dflt = 400);
+
+constexpr std::uint64_t kBenchSeed = 2015;  // CoNEXT '15
+
+struct ServiceRun {
+  workload::Service service;
+  workload::ExperimentResult result;
+};
+
+/// Runs all three services with the calibrated profiles.
+std::vector<ServiceRun> run_all_services(std::size_t flows,
+                                         std::uint64_t seed = kBenchSeed,
+                                         bool analyze = true);
+
+/// Prints the standard bench banner.
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  std::size_t flows);
+
+/// Renders a CDF as "x f" rows at the given quantiles.
+void print_cdf(const std::string& name, const stats::Cdf& cdf,
+               const std::string& unit,
+               const std::vector<double>& quantiles = {0.1, 0.25, 0.5, 0.75,
+                                                       0.9, 0.99});
+
+/// Formats "measured (paper X)" comparison cells.
+std::string vs_paper(double measured, double paper, const char* fmt = "%.1f");
+
+}  // namespace tapo::bench

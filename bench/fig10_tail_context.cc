@@ -1,0 +1,39 @@
+// Figure 10: context of tail-retransmission stalls — (a) relative position
+// CDF; (b) in-flight size CDF.
+//
+// Paper shape: positions near-uniform for cloud storage (multi-file
+// connections) and web search (tiny flows), end-of-flow for software
+// download; in-flight mostly 1 for web search, <=3 elsewhere.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+int main() {
+  const std::size_t flows = flows_per_service();
+  print_banner("Figure 10: context for tail-retransmission stalls",
+               "Fig. 10a/10b (paper §4.2)", flows);
+  const auto runs = run_all_services(flows);
+
+  std::printf("-- Fig. 10a: relative position of the tail stall --\n");
+  for (const auto& run : runs) {
+    print_cdf(to_string(run.service),
+              analysis::stall_position_cdf(run.result.analyses,
+                                           analysis::RetransCause::kTailRetrans),
+              "");
+  }
+  std::printf("(paper: uniform for cloud storage & web search; skewed to the "
+              "flow end for software download)\n\n");
+
+  std::printf("-- Fig. 10b: in-flight size at the tail stall --\n");
+  for (const auto& run : runs) {
+    print_cdf(to_string(run.service),
+              analysis::stall_inflight_cdf(run.result.analyses,
+                                           analysis::RetransCause::kTailRetrans),
+              " pkts");
+  }
+  std::printf("(paper: mostly 1 for web search; <=3 for the others)\n");
+  return 0;
+}

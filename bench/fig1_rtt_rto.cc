@@ -1,0 +1,42 @@
+// Figure 1: (a) CDF of per-flow RTT and RTO; (b) CDF of RTO/RTT.
+//
+// Paper shape: RTO is much larger than RTT ("very conservative algorithm");
+// for over 40% of software-download and web-search flows the RTO is an
+// order of magnitude larger than the RTT.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+int main() {
+  const std::size_t flows = flows_per_service();
+  print_banner("Figure 1: distribution of RTT and RTO",
+               "Fig. 1a/1b (paper §2.1)", flows);
+  const auto runs = run_all_services(flows);
+
+  std::printf("-- Fig. 1a: per-flow RTT and RTO (ms) --\n");
+  for (const auto& run : runs) {
+    print_cdf(std::string(to_string(run.service)) + " RTT",
+              analysis::flow_rtt_cdf_ms(run.result.analyses), "ms");
+  }
+  for (const auto& run : runs) {
+    print_cdf(std::string(to_string(run.service)) + " RTO",
+              analysis::flow_rto_cdf_ms(run.result.analyses), "ms");
+  }
+
+  std::printf("\n-- Fig. 1b: RTO / RTT ratio --\n");
+  for (const auto& run : runs) {
+    const auto cdf = analysis::rto_over_rtt_cdf(run.result.analyses);
+    print_cdf(to_string(run.service), cdf, "");
+    if (!cdf.empty()) {
+      std::printf("  P(RTO/RTT > 10) = %.0f%%  (paper: >40%% for software "
+                  "download and web search)\n",
+                  (1.0 - cdf.fraction_at_most(10.0)) * 100.0);
+    }
+  }
+  std::printf("\npaper shape check: avg RTO is ~1 order of magnitude above "
+              "avg RTT in all services.\n");
+  return 0;
+}

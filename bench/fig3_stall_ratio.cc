@@ -1,0 +1,34 @@
+// Figure 3: CDF of stalled time / transmission time per flow.
+//
+// Paper shape: 43% of software-download and 38% of cloud-storage flows
+// stall at least once; over 20% of their flows spend more than half their
+// lifetime stalled; web search is the least affected.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+int main() {
+  const std::size_t flows = flows_per_service();
+  print_banner("Figure 3: ratio of stalled time to transmission time",
+               "Fig. 3 (paper §2.2)", flows);
+  const auto runs = run_all_services(flows);
+
+  for (const auto& run : runs) {
+    const auto cdf = analysis::stall_ratio_cdf(run.result.analyses);
+    print_cdf(to_string(run.service), cdf, "");
+    if (!cdf.empty()) {
+      const double stalled_frac = 1.0 - cdf.fraction_at_most(0.0);
+      const double half_life = 1.0 - cdf.fraction_at_most(0.5);
+      std::printf("  flows with >=1 stall: %.0f%%   flows stalled >50%% of "
+                  "lifetime: %.0f%%\n",
+                  stalled_frac * 100, half_life * 100);
+    }
+  }
+  std::printf("\npaper: cloud 38%% / software 43%% stall at least once; "
+              ">20%% of their flows stalled for half their lifetime;\n"
+              "web search least affected.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 7: context of double-retransmission stalls — (a) CDF of the
+// relative position within the flow; (b) CDF of the in-flight size.
+//
+// Paper shape: positions are near-uniform (random drops); web search has
+// the smallest in-flight sizes (short flows), cloud/software medians 5-8.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+int main() {
+  const std::size_t flows = flows_per_service();
+  print_banner("Figure 7: context for double-retransmission stalls",
+               "Fig. 7a/7b (paper §4.1)", flows);
+  const auto runs = run_all_services(flows);
+
+  std::printf("-- Fig. 7a: relative position of the stalled segment --\n");
+  for (const auto& run : runs) {
+    print_cdf(to_string(run.service),
+              analysis::stall_position_cdf(run.result.analyses,
+                                           analysis::RetransCause::kDoubleRetrans),
+              "");
+  }
+  std::printf("(paper: roughly uniform in [0,1] for all services)\n\n");
+
+  std::printf("-- Fig. 7b: in-flight size when the stall happened --\n");
+  for (const auto& run : runs) {
+    print_cdf(to_string(run.service),
+              analysis::stall_inflight_cdf(run.result.analyses,
+                                           analysis::RetransCause::kDoubleRetrans),
+              " pkts");
+  }
+  std::printf("(paper medians: cloud ~5, software ~8, web smallest)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Library micro-benchmarks (google-benchmark): how fast the simulator and
+// the TAPO analyzer run. Useful for sizing large trace analyses.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "pcap/pcap.h"
+#include "sim/simulator.h"
+#include "tapo/analyzer.h"
+#include "workload/experiment.h"
+
+using namespace tapo;
+
+namespace {
+
+/// Pre-simulated trace shared by the analyzer benchmarks.
+const net::PacketTrace& sample_trace() {
+  static const net::PacketTrace trace = [] {
+    workload::ExperimentConfig cfg;
+    cfg.profile = workload::cloud_storage_profile();
+    Rng master(99);
+    Rng flow_rng = master.split();
+    const auto scenario = workload::draw_scenario(cfg.profile, flow_rng, 1);
+    net::PacketTrace t;
+    workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0), &t);
+    return t;
+  }();
+  return trace;
+}
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule(Duration::micros(i), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+void BM_SimulateOneFlow(benchmark::State& state) {
+  workload::ExperimentConfig cfg;
+  cfg.profile = workload::web_search_profile();
+  Rng master(7);
+  for (auto _ : state) {
+    Rng flow_rng = master.split();
+    const auto scenario = workload::draw_scenario(cfg.profile, flow_rng, 1);
+    const auto outcome = workload::run_flow(scenario, flow_rng.split(),
+                                            Duration::seconds(600.0), nullptr);
+    benchmark::DoNotOptimize(outcome.completed);
+  }
+}
+BENCHMARK(BM_SimulateOneFlow);
+
+void BM_AnalyzeTrace(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  analysis::Analyzer analyzer;
+  for (auto _ : state) {
+    auto result = analyzer.analyze(trace);
+    benchmark::DoNotOptimize(result.flows.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_AnalyzeTrace);
+
+void BM_PcapWrite(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  for (auto _ : state) {
+    std::stringstream ss;
+    pcap::write_stream(ss, trace);
+    benchmark::DoNotOptimize(ss.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_PcapWrite);
+
+void BM_PcapRead(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  std::stringstream base;
+  pcap::write_stream(base, trace);
+  const std::string bytes = base.str();
+  for (auto _ : state) {
+    std::stringstream ss(bytes);
+    auto back = pcap::read_stream(ss);
+    benchmark::DoNotOptimize(back.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_PcapRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 1: flow-level statistics of the dataset — flow count, average
+// speed, average flow size, packet loss, average RTT, average RTO.
+#include <cstdio>
+
+#include "common.h"
+#include "util/strings.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double speed_Bps, size_bytes, loss, rtt_ms, rto_ms;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"cloud stor.", 540e3, 1.7e6, 0.039, 143, 1200},
+    {"soft. down.", 413e3, 129e3, 0.041, 147, 1600},
+    {"web search", 644e3, 14e3, 0.021, 106, 900},
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t flows = flows_per_service();
+  print_banner("Table 1: flow-level statistics of the dataset",
+               "Table 1 (paper §2.1)", flows);
+  const auto runs = run_all_services(flows);
+
+  stats::Table table;
+  table.set_header({"service", "#flows", "avg.speed(B/s)", "avg.flow size",
+                    "pkt loss", "avg.RTT", "avg.RTO"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto sum = analysis::make_service_summary(runs[i].result.analyses);
+    const auto& p = kPaper[i];
+    table.add_row({
+        p.name,
+        str_format("%zu", static_cast<std::size_t>(sum.flows)),
+        str_format("%.0fK (paper %.0fK)", sum.avg_speed_Bps / 1e3,
+                   p.speed_Bps / 1e3),
+        human_bytes(sum.avg_flow_bytes) + " (paper " +
+            human_bytes(p.size_bytes) + ")",
+        vs_paper(sum.pkt_loss * 100, p.loss * 100) + "%",
+        str_format("%.0fms (paper %.0fms)", sum.avg_rtt_us / 1e3, p.rtt_ms),
+        str_format("%.1fs (paper %.1fs)", sum.avg_rto_us / 1e6,
+                   p.rto_ms / 1e3),
+    });
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

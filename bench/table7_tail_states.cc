@@ -1,0 +1,41 @@
+// Table 7: tail-retransmission stalls by congestion state (Open vs
+// Recovery) at the time of the stall.
+//
+// Paper: Open 60.1% / 41.3% / 10.0% for cloud / software / web — web-search
+// tails mostly happen in Recovery, where TLP cannot help (its Open-state
+// requirement), which motivates S-RTO.
+#include <cstdio>
+
+#include "common.h"
+#include "util/strings.h"
+
+using namespace tapo;
+using namespace tapo::bench;
+
+int main() {
+  const std::size_t flows = flows_per_service();
+  print_banner("Table 7: tail-retransmission stalls by congestion state",
+               "Table 7 (paper §4.2)", flows);
+  const auto runs = run_all_services(flows);
+
+  constexpr double kPaperOpen[3] = {60.1, 41.3, 10.0};
+
+  stats::Table table;
+  table.set_header({"", "cloud s.", "software d.", "web search"});
+  std::vector<std::string> open_row{"Open state"}, rec_row{"Recovery state"};
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto bd = analysis::make_retrans_breakdown(runs[s].result.analyses);
+    const double total = (bd.tail_open_time + bd.tail_recovery_time).sec();
+    const double open =
+        total > 0 ? bd.tail_open_time.sec() / total * 100 : 0.0;
+    open_row.push_back(
+        str_format("%.1f%% (paper %.1f%%)", open, kPaperOpen[s]));
+    rec_row.push_back(str_format("%.1f%% (paper %.1f%%)",
+                                 total > 0 ? 100 - open : 0.0,
+                                 100 - kPaperOpen[s]));
+  }
+  table.add_row(open_row);
+  table.add_row(rec_row);
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

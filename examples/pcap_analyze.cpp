@@ -1,0 +1,192 @@
+// TAPO command-line tool: analyze TCP stalls in a pcap capture.
+//
+// This is the reproduction of the paper's publicly released tool: point it
+// at a server-side capture and it prints per-flow stall diagnoses plus the
+// aggregate Table-3 / Table-5 breakdowns.
+//
+//   pcap_analyze <capture.pcap> [--server-port N] [--tau X] [--summary]
+//   pcap_analyze --demo [out.pcap]     # generate a demo capture first
+//
+// The capture may come from tcpdump (Ethernet, raw-IP and loopback
+// linktypes are supported) or from this library's own simulator.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "pcap/pcap.h"
+#include "tapo/csv.h"
+#include "tapo/live.h"
+#include "stats/table.h"
+#include "tapo/analyzer.h"
+#include "tapo/report.h"
+#include "util/strings.h"
+#include "workload/experiment.h"
+
+using namespace tapo;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: pcap_analyze <capture.pcap> [--server-port N] [--tau X] "
+      "[--summary] [--csv PREFIX] [--live]\n"
+      "       pcap_analyze --demo [out.pcap]   generate & analyze a demo "
+      "capture\n");
+}
+
+std::string make_demo(const std::string& path) {
+  // Simulate a handful of lossy software-download flows into one pcap.
+  net::PacketTrace all;
+  auto profile = workload::software_download_profile();
+  Rng master(42);
+  for (int i = 0; i < 8; ++i) {
+    Rng flow_rng = master.split();
+    const auto scenario =
+        workload::draw_scenario(profile, flow_rng, static_cast<std::uint64_t>(i + 1));
+    workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0),
+                       &all);
+  }
+  all.sort_by_time();
+  pcap::write_file(path, all);
+  std::printf("wrote demo capture with %zu packets to %s\n\n", all.size(),
+              path.c_str());
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+
+  std::string path;
+  analysis::AnalyzerConfig config;
+  analysis::DemuxOptions demux;
+  bool summary_only = false;
+  bool live_mode = false;
+  std::string csv_prefix;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      // Only consume the next token as the output path if it is not a flag.
+      const bool has_path = i + 1 < argc && argv[i + 1][0] != '-';
+      path = make_demo(has_path ? argv[++i] : "/tmp/tapo_demo.pcap");
+    } else if (arg == "--server-port" && i + 1 < argc) {
+      demux.server_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--tau" && i + 1 < argc) {
+      config.tau = std::atof(argv[++i]);
+      if (config.tau <= 0.0) {
+        std::fprintf(stderr, "error: --tau must be a positive number\n");
+        return 1;
+      }
+    } else if (arg == "--summary") {
+      summary_only = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_prefix = argv[++i];
+    } else if (arg == "--live") {
+      live_mode = true;
+    } else if (arg[0] != '-') {
+      path = arg;
+    } else {
+      print_usage();
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    print_usage();
+    return 1;
+  }
+
+  pcap::ReadStats rstats;
+  net::PacketTrace trace;
+  try {
+    trace = pcap::read_file(path, &rstats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s: %zu records, %zu TCP packets (%zu skipped)\n", path.c_str(),
+              rstats.records, rstats.tcp_packets, rstats.skipped);
+
+  analysis::AnalysisResult result;
+  if (live_mode) {
+    // Streaming mode: feed packets one at a time through the bounded-memory
+    // live analyzer (what a capture-socket deployment would do).
+    analysis::LiveConfig live_cfg;
+    live_cfg.analyzer = config;
+    live_cfg.demux = demux;
+    analysis::LiveAnalyzer live(live_cfg, [&](const analysis::FlowAnalysis& fa) {
+      result.flows.push_back(fa);
+    });
+    for (const auto& pkt : trace.packets()) live.add_packet(pkt);
+    live.flush();
+    std::printf("%zu flows finalized (live mode; %llu packets, peak table "
+                "%zu flows)\n\n",
+                result.flows.size(),
+                static_cast<unsigned long long>(live.stats().packets),
+                live.stats().active_flows);
+  } else {
+    analysis::Analyzer analyzer(config);
+    result = analyzer.analyze(trace, demux);
+    std::printf("%zu flows reconstructed\n\n", result.flows.size());
+  }
+
+  if (!csv_prefix.empty()) {
+    try {
+      analysis::write_flows_csv_file(csv_prefix + "_flows.csv", result.flows);
+      analysis::write_stalls_csv_file(csv_prefix + "_stalls.csv", result.flows);
+      std::printf("wrote %s_flows.csv and %s_stalls.csv\n\n",
+                  csv_prefix.c_str(), csv_prefix.c_str());
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: %s\n", ex.what());
+      return 1;
+    }
+  }
+
+  if (!summary_only) {
+    for (const auto& fa : result.flows) {
+      std::printf("%s\n", analysis::describe_flow(fa).c_str());
+    }
+  }
+
+  // Aggregate summaries (Table 3 / Table 5 form).
+  const auto bd = analysis::make_stall_breakdown(result.flows);
+  const auto rbd = analysis::make_retrans_breakdown(result.flows);
+  const auto sum = analysis::make_service_summary(result.flows);
+
+  std::printf("== aggregate ==\n");
+  std::printf("flows=%llu avg_speed=%s/s pkt_loss=%s avg_rtt=%s avg_rto=%s\n",
+              static_cast<unsigned long long>(sum.flows),
+              human_bytes(sum.avg_speed_Bps).c_str(),
+              pct(sum.pkt_loss).c_str(), human_us(sum.avg_rtt_us).c_str(),
+              human_us(sum.avg_rto_us).c_str());
+  std::printf("stalls: %llu total, %.1fs stalled time\n",
+              static_cast<unsigned long long>(bd.total_count),
+              bd.total_time.sec());
+
+  stats::Table t("\nstall causes (volume / time):");
+  t.set_header({"cause", "volume", "time"});
+  for (std::size_t c = 0; c < analysis::kNumStallCauses; ++c) {
+    const auto cause = static_cast<analysis::StallCause>(c);
+    if (bd.by_cause[c].count == 0) continue;
+    t.add_row({analysis::to_string(cause), pct(bd.volume_fraction(cause)),
+               pct(bd.time_fraction(cause))});
+  }
+  std::printf("%s", t.render().c_str());
+
+  if (rbd.total_count > 0) {
+    stats::Table rt("\ntimeout-retransmission stall causes (volume / time):");
+    rt.set_header({"cause", "volume", "time"});
+    for (std::size_t c = 0; c < analysis::kNumRetransCauses; ++c) {
+      const auto cause = static_cast<analysis::RetransCause>(c);
+      if (rbd.by_cause[c].count == 0) continue;
+      rt.add_row({analysis::to_string(cause), pct(rbd.volume_fraction(cause)),
+                  pct(rbd.time_fraction(cause))});
+    }
+    std::printf("%s", rt.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Compares TCP stall behaviour across the paper's three services using the
+// calibrated workload profiles — the library-API walkthrough for the
+// measurement half of the paper (§2-§4).
+//
+//   ./service_comparison [flows_per_service]
+#include <cstdio>
+#include <cstdlib>
+
+#include "stats/table.h"
+#include "tapo/report.h"
+#include "util/strings.h"
+#include "workload/experiment.h"
+
+using namespace tapo;
+using namespace tapo::workload;
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+
+  stats::Table summary("per-service summary:");
+  summary.set_header({"service", "flows", "avg size", "speed", "loss",
+                      "rtt", "stalls", "stalled%"});
+
+  for (auto svc : {Service::kCloudStorage, Service::kSoftwareDownload,
+                   Service::kWebSearch}) {
+    ExperimentConfig cfg;
+    cfg.profile = profile_for(svc);
+    cfg.flows = flows;
+    cfg.seed = 7;
+    const auto res = run_experiment(cfg);
+    const auto sum = analysis::make_service_summary(res.analyses);
+    const auto bd = analysis::make_stall_breakdown(res.analyses);
+
+    Duration total_time, total_stalled;
+    for (const auto& fa : res.analyses) {
+      total_time += fa.transmission_time;
+      total_stalled += fa.stalled_time;
+    }
+    summary.add_row({
+        to_string(svc),
+        str_format("%llu", static_cast<unsigned long long>(sum.flows)),
+        human_bytes(sum.avg_flow_bytes),
+        human_bytes(sum.avg_speed_Bps) + "/s",
+        pct(sum.pkt_loss),
+        human_us(sum.avg_rtt_us),
+        str_format("%llu", static_cast<unsigned long long>(bd.total_count)),
+        pct(total_time > Duration::zero() ? total_stalled / total_time : 0.0),
+    });
+
+    std::printf("%s: top stall causes by time —\n", to_string(svc));
+    for (std::size_t c = 0; c < analysis::kNumStallCauses; ++c) {
+      const auto cause = static_cast<analysis::StallCause>(c);
+      const double frac = bd.time_fraction(cause);
+      if (frac > 0.05) {
+        std::printf("    %-20s %s\n", analysis::to_string(cause),
+                    pct(frac).c_str());
+      }
+    }
+  }
+  std::printf("\n%s", summary.render().c_str());
+  std::printf("\n(compare with Tables 1 and 3 of the paper; see "
+              "bench/table1_flow_stats and bench/table3_stall_categories "
+              "for the full paper-vs-measured comparison)\n");
+  return 0;
+}

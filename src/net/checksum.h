@@ -1,0 +1,16 @@
+// Internet checksum (RFC 1071) and the TCP pseudo-header checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tapo::net {
+
+/// One's-complement sum over `data`, folded to 16 bits, complemented.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP checksum: pseudo-header (src, dst, protocol 6, tcp length) + segment.
+std::uint16_t tcp_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                           std::span<const std::uint8_t> tcp_segment);
+
+}  // namespace tapo::net

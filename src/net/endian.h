@@ -1,0 +1,45 @@
+// Explicit big-endian (network byte order) serialization helpers.
+//
+// All wire formats in this library are written/read through these functions
+// rather than through struct casts, so the code is independent of host
+// endianness and free of alignment traps.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace tapo::net {
+
+inline void put_u8(std::span<std::uint8_t> buf, std::size_t off, std::uint8_t v) {
+  buf[off] = v;
+}
+
+inline void put_u16(std::span<std::uint8_t> buf, std::size_t off, std::uint16_t v) {
+  buf[off] = static_cast<std::uint8_t>(v >> 8);
+  buf[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+inline void put_u32(std::span<std::uint8_t> buf, std::size_t off, std::uint32_t v) {
+  buf[off] = static_cast<std::uint8_t>(v >> 24);
+  buf[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint8_t get_u8(std::span<const std::uint8_t> buf, std::size_t off) {
+  return buf[off];
+}
+
+inline std::uint16_t get_u16(std::span<const std::uint8_t> buf, std::size_t off) {
+  return static_cast<std::uint16_t>((buf[off] << 8) | buf[off + 1]);
+}
+
+inline std::uint32_t get_u32(std::span<const std::uint8_t> buf, std::size_t off) {
+  return (static_cast<std::uint32_t>(buf[off]) << 24) |
+         (static_cast<std::uint32_t>(buf[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[off + 2]) << 8) |
+         static_cast<std::uint32_t>(buf[off + 3]);
+}
+
+}  // namespace tapo::net

@@ -1,0 +1,57 @@
+#include "net/ipv4.h"
+
+#include <cassert>
+
+#include "net/checksum.h"
+#include "net/endian.h"
+#include "util/strings.h"
+
+namespace tapo::net {
+
+void Ipv4Header::serialize(std::span<std::uint8_t> out) const {
+  assert(out.size() >= kIpv4HeaderLen);
+  put_u8(out, 0, 0x45);  // version 4, IHL 5
+  put_u8(out, 1, 0);     // DSCP/ECN
+  put_u16(out, 2, total_length);
+  put_u16(out, 4, identification);
+  put_u16(out, 6, 0x4000);  // DF, no fragment offset
+  put_u8(out, 8, ttl);
+  put_u8(out, 9, protocol);
+  put_u16(out, 10, 0);  // checksum placeholder
+  put_u32(out, 12, src);
+  put_u32(out, 16, dst);
+  const std::uint16_t csum = internet_checksum(out.subspan(0, kIpv4HeaderLen));
+  put_u16(out, 10, csum);
+}
+
+bool Ipv4Header::parse(std::span<const std::uint8_t> in, Ipv4Header& out,
+                       std::size_t& header_len) {
+  if (in.size() < kIpv4HeaderLen) return false;
+  const std::uint8_t ver_ihl = get_u8(in, 0);
+  if ((ver_ihl >> 4) != 4) return false;
+  header_len = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (header_len < kIpv4HeaderLen || in.size() < header_len) return false;
+  out.total_length = get_u16(in, 2);
+  if (out.total_length < header_len) return false;
+  out.identification = get_u16(in, 4);
+  out.ttl = get_u8(in, 8);
+  out.protocol = get_u8(in, 9);
+  out.src = get_u32(in, 12);
+  out.dst = get_u32(in, 16);
+  return true;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  return str_format("%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                    (addr >> 8) & 0xff, addr & 0xff);
+}
+
+std::uint32_t ipv4_from_string(const std::string& dotted) {
+  std::uint32_t addr = 0;
+  for (const auto& part : split(dotted, '.')) {
+    addr = (addr << 8) | (static_cast<std::uint32_t>(std::stoul(part)) & 0xff);
+  }
+  return addr;
+}
+
+}  // namespace tapo::net

@@ -1,0 +1,35 @@
+// Minimal IPv4 header model: enough to frame TCP segments for pcap
+// round-trips and to parse real captures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tapo::net {
+
+constexpr std::size_t kIpv4HeaderLen = 20;  // no options
+constexpr std::uint8_t kProtoTcp = 6;
+
+struct Ipv4Header {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoTcp;
+
+  /// Serializes (with checksum) into `out`, which must hold kIpv4HeaderLen.
+  void serialize(std::span<std::uint8_t> out) const;
+
+  /// Parses from `in`; returns false on truncation / non-v4 / bad length.
+  static bool parse(std::span<const std::uint8_t> in, Ipv4Header& out,
+                    std::size_t& header_len);
+};
+
+/// "a.b.c.d" <-> host-order u32 helpers.
+std::string ipv4_to_string(std::uint32_t addr);
+std::uint32_t ipv4_from_string(const std::string& dotted);
+
+}  // namespace tapo::net

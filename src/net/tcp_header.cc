@@ -1,0 +1,160 @@
+#include "net/tcp_header.h"
+
+#include <cassert>
+
+#include "net/endian.h"
+
+namespace tapo::net {
+namespace {
+
+constexpr std::uint8_t kOptEnd = 0;
+constexpr std::uint8_t kOptNop = 1;
+constexpr std::uint8_t kOptMss = 2;
+constexpr std::uint8_t kOptWscale = 3;
+constexpr std::uint8_t kOptSackPermitted = 4;
+constexpr std::uint8_t kOptSack = 5;
+constexpr std::uint8_t kOptTimestamps = 8;
+
+}  // namespace
+
+std::uint8_t TcpFlags::to_byte() const {
+  std::uint8_t b = 0;
+  if (fin) b |= 0x01;
+  if (syn) b |= 0x02;
+  if (rst) b |= 0x04;
+  if (psh) b |= 0x08;
+  if (ack) b |= 0x10;
+  return b;
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t b) {
+  TcpFlags f;
+  f.fin = b & 0x01;
+  f.syn = b & 0x02;
+  f.rst = b & 0x04;
+  f.psh = b & 0x08;
+  f.ack = b & 0x10;
+  return f;
+}
+
+std::size_t TcpHeader::header_len() const {
+  std::size_t opts = 0;
+  if (mss) opts += 4;
+  if (window_scale) opts += 3;
+  if (sack_permitted) opts += 2;
+  if (timestamps) opts += 10;
+  if (!sack_blocks.empty()) opts += 2 + 8 * std::min<std::size_t>(sack_blocks.size(), 4);
+  return kTcpMinHeaderLen + (opts + 3) / 4 * 4;
+}
+
+std::size_t TcpHeader::serialize(std::span<std::uint8_t> out) const {
+  const std::size_t len = header_len();
+  assert(out.size() >= len);
+  put_u16(out, 0, src_port);
+  put_u16(out, 2, dst_port);
+  put_u32(out, 4, seq);
+  put_u32(out, 8, ack);
+  put_u8(out, 12, static_cast<std::uint8_t>((len / 4) << 4));
+  put_u8(out, 13, flags.to_byte());
+  put_u16(out, 14, window);
+  put_u16(out, 16, 0);  // checksum (filled by caller if needed)
+  put_u16(out, 18, 0);  // urgent pointer
+
+  std::size_t off = kTcpMinHeaderLen;
+  if (mss) {
+    put_u8(out, off++, kOptMss);
+    put_u8(out, off++, 4);
+    put_u16(out, off, *mss);
+    off += 2;
+  }
+  if (window_scale) {
+    put_u8(out, off++, kOptWscale);
+    put_u8(out, off++, 3);
+    put_u8(out, off++, *window_scale);
+  }
+  if (sack_permitted) {
+    put_u8(out, off++, kOptSackPermitted);
+    put_u8(out, off++, 2);
+  }
+  if (timestamps) {
+    put_u8(out, off++, kOptTimestamps);
+    put_u8(out, off++, 10);
+    put_u32(out, off, timestamps->value);
+    off += 4;
+    put_u32(out, off, timestamps->echo_reply);
+    off += 4;
+  }
+  if (!sack_blocks.empty()) {
+    const std::size_t n = std::min<std::size_t>(sack_blocks.size(), 4);
+    put_u8(out, off++, kOptSack);
+    put_u8(out, off++, static_cast<std::uint8_t>(2 + 8 * n));
+    for (std::size_t i = 0; i < n; ++i) {
+      put_u32(out, off, sack_blocks[i].start);
+      off += 4;
+      put_u32(out, off, sack_blocks[i].end);
+      off += 4;
+    }
+  }
+  while (off < len) put_u8(out, off++, kOptNop);
+  return len;
+}
+
+bool TcpHeader::parse(std::span<const std::uint8_t> in, TcpHeader& out,
+                      std::size_t& header_len) {
+  if (in.size() < kTcpMinHeaderLen) return false;
+  out = TcpHeader{};
+  out.src_port = get_u16(in, 0);
+  out.dst_port = get_u16(in, 2);
+  out.seq = get_u32(in, 4);
+  out.ack = get_u32(in, 8);
+  header_len = static_cast<std::size_t>(get_u8(in, 12) >> 4) * 4;
+  if (header_len < kTcpMinHeaderLen || header_len > in.size()) return false;
+  out.flags = TcpFlags::from_byte(get_u8(in, 13));
+  out.window = get_u16(in, 14);
+
+  std::size_t off = kTcpMinHeaderLen;
+  while (off < header_len) {
+    const std::uint8_t kind = get_u8(in, off);
+    if (kind == kOptEnd) break;
+    if (kind == kOptNop) {
+      ++off;
+      continue;
+    }
+    if (off + 1 >= header_len) return false;
+    const std::uint8_t optlen = get_u8(in, off + 1);
+    if (optlen < 2 || off + optlen > header_len) return false;
+    switch (kind) {
+      case kOptMss:
+        if (optlen != 4) return false;
+        out.mss = get_u16(in, off + 2);
+        break;
+      case kOptWscale:
+        if (optlen != 3) return false;
+        out.window_scale = get_u8(in, off + 2);
+        break;
+      case kOptSackPermitted:
+        if (optlen != 2) return false;
+        out.sack_permitted = true;
+        break;
+      case kOptTimestamps:
+        if (optlen != 10) return false;
+        out.timestamps = TcpTimestamps{get_u32(in, off + 2), get_u32(in, off + 6)};
+        break;
+      case kOptSack: {
+        if ((optlen - 2) % 8 != 0) return false;
+        const std::size_t n = static_cast<std::size_t>(optlen - 2) / 8;
+        for (std::size_t i = 0; i < n; ++i) {
+          out.sack_blocks.push_back(SackBlock{
+              get_u32(in, off + 2 + 8 * i), get_u32(in, off + 6 + 8 * i)});
+        }
+        break;
+      }
+      default:
+        break;  // unknown option: skip
+    }
+    off += optlen;
+  }
+  return true;
+}
+
+}  // namespace tapo::net

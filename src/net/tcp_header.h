@@ -1,0 +1,72 @@
+// TCP header model with the options that matter for stall analysis:
+// MSS, window scale, SACK-permitted, SACK blocks (including DSACK), and
+// timestamps. Serializes to/parses from the real wire format so simulator
+// traces round-trip through libpcap files and real captures can be analyzed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tapo::net {
+
+constexpr std::size_t kTcpMinHeaderLen = 20;
+constexpr std::size_t kTcpMaxHeaderLen = 60;
+
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+
+  std::uint8_t to_byte() const;
+  static TcpFlags from_byte(std::uint8_t b);
+  bool operator==(const TcpFlags&) const = default;
+};
+
+/// One SACK block: [start, end) in sequence space.
+/// Per RFC 2883, a DSACK is signalled by the *first* block covering already
+/// cumulatively-ACKed (or previously SACKed) data; receivers in this library
+/// always place the duplicate block first.
+struct SackBlock {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  bool operator==(const SackBlock&) const = default;
+};
+
+struct TcpTimestamps {
+  std::uint32_t value = 0;
+  std::uint32_t echo_reply = 0;
+  bool operator==(const TcpTimestamps&) const = default;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;  // raw (unscaled) window field
+
+  // Options (each optional on the wire).
+  std::optional<std::uint16_t> mss;
+  std::optional<std::uint8_t> window_scale;
+  bool sack_permitted = false;
+  std::vector<SackBlock> sack_blocks;  // at most 4 fit on the wire
+  std::optional<TcpTimestamps> timestamps;
+
+  /// Size of the serialized header including options (padded to 4 bytes).
+  std::size_t header_len() const;
+
+  /// Serializes into `out` (must hold header_len()); checksum is written by
+  /// the caller via tcp_checksum() if needed. Returns bytes written.
+  std::size_t serialize(std::span<std::uint8_t> out) const;
+
+  /// Parses header + options. Returns false on malformed input.
+  static bool parse(std::span<const std::uint8_t> in, TcpHeader& out,
+                    std::size_t& header_len);
+};
+
+}  // namespace tapo::net

@@ -1,0 +1,43 @@
+#include "net/trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "net/ipv4.h"
+#include "util/strings.h"
+
+namespace tapo::net {
+
+FlowKey FlowKey::canonical() const {
+  const auto a = std::make_tuple(src_ip, src_port);
+  const auto b = std::make_tuple(dst_ip, dst_port);
+  return a <= b ? *this : reversed();
+}
+
+std::string FlowKey::to_string() const {
+  return str_format("%s:%u -> %s:%u", ipv4_to_string(src_ip).c_str(), src_port,
+                    ipv4_to_string(dst_ip).c_str(), dst_port);
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& k) const {
+  // FNV-1a over the tuple fields.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(k.src_ip);
+  mix(k.dst_ip);
+  mix(k.src_port);
+  mix(k.dst_port);
+  return static_cast<std::size_t>(h);
+}
+
+void PacketTrace::sort_by_time() {
+  std::stable_sort(packets_.begin(), packets_.end(),
+                   [](const CapturedPacket& a, const CapturedPacket& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+}  // namespace tapo::net

@@ -1,0 +1,76 @@
+// Packet-trace representation shared by the simulator, the pcap codec and
+// the TAPO analyzer.
+//
+// A CapturedPacket is one TCP/IPv4 packet observed at the capture point (the
+// server NIC in this reproduction, matching the paper's tcpdump vantage
+// point). The analyzer never cares about payload bytes, only lengths and
+// header fields, so payloads are represented by their length alone; the pcap
+// writer synthesizes zero payload bytes of the right size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/tcp_header.h"
+#include "util/time.h"
+
+namespace tapo::net {
+
+/// Connection 4-tuple. Oriented: src is the packet sender.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  /// The same key with the two endpoints swapped (reply direction).
+  FlowKey reversed() const { return {dst_ip, src_ip, dst_port, src_port}; }
+
+  /// Direction-insensitive canonical form (smaller endpoint first) so both
+  /// directions of a connection map to the same table entry.
+  FlowKey canonical() const;
+
+  bool operator==(const FlowKey&) const = default;
+  std::string to_string() const;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const;
+};
+
+struct CapturedPacket {
+  TimePoint timestamp;
+  FlowKey key;
+  TcpHeader tcp;
+  std::uint32_t payload_len = 0;
+
+  std::uint32_t end_seq() const {
+    // SYN and FIN each consume one sequence number.
+    return tcp.seq + payload_len + (tcp.flags.syn ? 1u : 0u) +
+           (tcp.flags.fin ? 1u : 0u);
+  }
+  bool has_payload() const { return payload_len > 0; }
+};
+
+/// An ordered (by capture time) sequence of packets.
+class PacketTrace {
+ public:
+  void add(CapturedPacket pkt) { packets_.push_back(std::move(pkt)); }
+  void reserve(std::size_t n) { packets_.reserve(n); }
+
+  const std::vector<CapturedPacket>& packets() const { return packets_; }
+  std::size_t size() const { return packets_.size(); }
+  bool empty() const { return packets_.empty(); }
+  const CapturedPacket& operator[](std::size_t i) const { return packets_[i]; }
+
+  /// Stable-sorts by timestamp (pcap files are usually already ordered, but
+  /// multi-interface captures may interleave slightly out of order).
+  void sort_by_time();
+
+ private:
+  std::vector<CapturedPacket> packets_;
+};
+
+}  // namespace tapo::net

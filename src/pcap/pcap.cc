@@ -1,0 +1,394 @@
+#include "pcap/pcap.h"
+
+#include <array>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/checksum.h"
+#include "net/endian.h"
+#include "net/ipv4.h"
+#include "util/logging.h"
+
+namespace tapo::pcap {
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNsec = 0xa1b23c4d;
+constexpr std::uint32_t kLinkRaw = 101;       // raw IP
+constexpr std::uint32_t kLinkEthernet = 1;
+constexpr std::uint32_t kLinkNull = 0;        // BSD loopback
+constexpr std::uint32_t kLinkLoop = 108;
+
+// pcap file headers are written in *host* order by convention; we always
+// write little-endian and detect byte order when reading.
+void put_le16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void put_le32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::istream& in) : in_(in) {}
+
+  bool read(std::span<std::uint8_t> buf) {
+    in_.read(reinterpret_cast<char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+    return in_.gcount() == static_cast<std::streamsize>(buf.size());
+  }
+
+  bool skip(std::size_t n) {
+    in_.seekg(static_cast<std::streamoff>(n), std::ios::cur);
+    return static_cast<bool>(in_);
+  }
+
+ private:
+  std::istream& in_;
+};
+
+std::uint32_t load32(std::span<const std::uint8_t> b, std::size_t off,
+                     bool swap) {
+  std::uint32_t v = static_cast<std::uint32_t>(b[off]) |
+                    (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+                    (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+                    (static_cast<std::uint32_t>(b[off + 3]) << 24);
+  if (swap) v = __builtin_bswap32(v);
+  return v;
+}
+
+}  // namespace
+
+void write_stream(std::ostream& out, const net::PacketTrace& trace,
+                  const WriteOptions& opts) {
+  std::string header;
+  put_le32(header, kMagicUsec);
+  put_le16(header, 2);  // version major
+  put_le16(header, 4);  // version minor
+  put_le32(header, 0);  // thiszone
+  put_le32(header, 0);  // sigfigs
+  put_le32(header, opts.snaplen);
+  put_le32(header, kLinkRaw);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  std::vector<std::uint8_t> pkt;
+  for (const auto& cp : trace.packets()) {
+    const std::size_t tcp_len = cp.tcp.header_len() + cp.payload_len;
+    const std::size_t ip_len = net::kIpv4HeaderLen + tcp_len;
+    pkt.assign(ip_len, 0);
+
+    net::Ipv4Header ip;
+    ip.src = cp.key.src_ip;
+    ip.dst = cp.key.dst_ip;
+    ip.total_length = static_cast<std::uint16_t>(ip_len);
+    ip.serialize(std::span(pkt).subspan(0, net::kIpv4HeaderLen));
+
+    net::TcpHeader tcp = cp.tcp;
+    tcp.src_port = cp.key.src_port;
+    tcp.dst_port = cp.key.dst_port;
+    tcp.serialize(std::span(pkt).subspan(net::kIpv4HeaderLen));
+    const std::uint16_t csum = net::tcp_checksum(
+        ip.src, ip.dst, std::span(pkt).subspan(net::kIpv4HeaderLen, tcp_len));
+    net::put_u16(std::span(pkt).subspan(net::kIpv4HeaderLen), 16, csum);
+
+    const std::size_t caplen = std::min<std::size_t>(ip_len, opts.snaplen);
+    std::string rec;
+    put_le32(rec, static_cast<std::uint32_t>(cp.timestamp.us() / 1'000'000));
+    put_le32(rec, static_cast<std::uint32_t>(cp.timestamp.us() % 1'000'000));
+    put_le32(rec, static_cast<std::uint32_t>(caplen));
+    put_le32(rec, static_cast<std::uint32_t>(ip_len));
+    out.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    out.write(reinterpret_cast<const char*>(pkt.data()),
+              static_cast<std::streamsize>(caplen));
+  }
+  if (!out) throw std::runtime_error("pcap: write failed");
+}
+
+void write_file(const std::string& path, const net::PacketTrace& trace,
+                const WriteOptions& opts) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pcap: cannot open " + path);
+  write_stream(out, trace, opts);
+}
+
+namespace {
+
+std::size_t link_header_for(std::uint32_t linktype) {
+  switch (linktype) {
+    case kLinkRaw: return 0;
+    case kLinkEthernet: return 14;
+    case kLinkNull:
+    case kLinkLoop: return 4;
+    default:
+      throw std::runtime_error("pcap: unsupported linktype " +
+                               std::to_string(linktype));
+  }
+}
+
+/// Parses one link-layer frame into a CapturedPacket; returns false (and
+/// bumps skipped) for non-IPv4/non-TCP/truncated frames.
+bool parse_frame(std::span<const std::uint8_t> p, std::uint32_t linktype,
+                 std::int64_t ts_us, net::PacketTrace& trace, ReadStats& st) {
+  const std::size_t link_header = link_header_for(linktype);
+  if (link_header > 0) {
+    if (p.size() < link_header) {
+      ++st.skipped;
+      return false;
+    }
+    if (linktype == kLinkEthernet && net::get_u16(p, 12) != 0x0800) {
+      ++st.skipped;
+      return false;
+    }
+    p = p.subspan(link_header);
+  }
+
+  net::Ipv4Header ip;
+  std::size_t ip_hlen = 0;
+  if (!net::Ipv4Header::parse(p, ip, ip_hlen) ||
+      ip.protocol != net::kProtoTcp) {
+    ++st.skipped;
+    return false;
+  }
+  // Use the IP total length when the capture preserved the full packet;
+  // with a short snaplen fall back to what was captured.
+  const std::size_t ip_total = std::min<std::size_t>(ip.total_length, p.size());
+  std::span<const std::uint8_t> tcp_bytes =
+      p.subspan(ip_hlen, ip_total - ip_hlen);
+
+  net::TcpHeader tcp;
+  std::size_t tcp_hlen = 0;
+  if (!net::TcpHeader::parse(tcp_bytes, tcp, tcp_hlen)) {
+    ++st.skipped;
+    return false;
+  }
+
+  net::CapturedPacket cp;
+  cp.timestamp = TimePoint::from_us(ts_us);
+  cp.key = {ip.src, ip.dst, tcp.src_port, tcp.dst_port};
+  cp.payload_len = static_cast<std::uint32_t>(tcp_bytes.size() - tcp_hlen);
+  cp.tcp = std::move(tcp);
+  trace.add(std::move(cp));
+  ++st.tcp_packets;
+  return true;
+}
+
+net::PacketTrace read_classic(ByteReader& reader,
+                              std::span<const std::uint8_t> magic_bytes,
+                              ReadStats& st) {
+  std::array<std::uint8_t, 24> gh{};
+  std::copy(magic_bytes.begin(), magic_bytes.end(), gh.begin());
+  if (!reader.read(std::span(gh).subspan(4))) {
+    throw std::runtime_error("pcap: truncated header");
+  }
+
+  const std::uint32_t raw_magic = load32(gh, 0, /*swap=*/false);
+  bool swap = false;
+  bool nsec = false;
+  if (raw_magic == kMagicUsec) {
+  } else if (raw_magic == __builtin_bswap32(kMagicUsec)) {
+    swap = true;
+  } else if (raw_magic == kMagicNsec) {
+    nsec = true;
+  } else {
+    swap = true;
+    nsec = true;
+  }
+  const std::uint32_t linktype = load32(gh, 20, swap);
+  link_header_for(linktype);  // validate up front
+
+  net::PacketTrace trace;
+  std::array<std::uint8_t, 16> rh;
+  std::vector<std::uint8_t> body;
+  while (reader.read(rh)) {
+    ++st.records;
+    const std::uint32_t ts_sec = load32(rh, 0, swap);
+    const std::uint32_t ts_frac = load32(rh, 4, swap);
+    const std::uint32_t caplen = load32(rh, 8, swap);
+    if (caplen > 256 * 1024) throw std::runtime_error("pcap: absurd caplen");
+    body.resize(caplen);
+    if (!reader.read(body)) break;  // truncated final record: keep the rest
+
+    const std::int64_t frac_us =
+        nsec ? static_cast<std::int64_t>(ts_frac) / 1000
+             : static_cast<std::int64_t>(ts_frac);
+    parse_frame(body, linktype,
+                static_cast<std::int64_t>(ts_sec) * 1'000'000 + frac_us, trace,
+                st);
+  }
+  return trace;
+}
+
+constexpr std::uint32_t kNgShb = 0x0A0D0D0A;
+constexpr std::uint32_t kNgIdb = 0x00000001;
+constexpr std::uint32_t kNgEpb = 0x00000006;
+constexpr std::uint32_t kNgSpb = 0x00000003;
+constexpr std::uint32_t kNgByteOrderMagic = 0x1A2B3C4D;
+
+struct NgInterface {
+  std::uint32_t linktype = kLinkEthernet;
+  /// Timestamp units per second (default 10^6 per the spec).
+  std::uint64_t ts_per_sec = 1'000'000;
+};
+
+net::PacketTrace read_pcapng(ByteReader& reader, ReadStats& st) {
+  net::PacketTrace trace;
+  std::vector<NgInterface> interfaces;
+  bool swap = false;
+
+  // We enter having consumed the 4-byte SHB type; process the SHB first,
+  // then loop over blocks.
+  bool first_block = true;
+  std::uint32_t block_type = kNgShb;
+  std::vector<std::uint8_t> body;
+
+  while (true) {
+    if (!first_block) {
+      std::array<std::uint8_t, 4> tb;
+      if (!reader.read(tb)) break;
+      block_type = load32(tb, 0, /*swap=*/false);  // endianness fixed below
+    }
+
+    std::array<std::uint8_t, 4> lb;
+    if (!reader.read(lb)) {
+      if (first_block) throw std::runtime_error("pcapng: truncated SHB");
+      break;
+    }
+    std::uint32_t total_len;
+    // Every SHB (not just the first) starts a new section and may change
+    // the byte order, so its own byte-order magic — not the previous
+    // section's — decides how its length decodes. The SHB type value is a
+    // palindrome, so reading it with the old order is safe.
+    const bool is_shb =
+        first_block || block_type == kNgShb ||
+        __builtin_bswap32(block_type) == kNgShb;
+    if (is_shb) {
+      // Peek the byte-order magic to fix endianness for this section.
+      std::array<std::uint8_t, 4> bom;
+      std::uint32_t raw_len = load32(lb, 0, false);
+      if (!reader.read(bom)) throw std::runtime_error("pcapng: truncated SHB");
+      const std::uint32_t magic = load32(bom, 0, false);
+      if (magic == kNgByteOrderMagic) {
+        swap = false;
+      } else if (magic == __builtin_bswap32(kNgByteOrderMagic)) {
+        swap = true;
+      } else {
+        throw std::runtime_error("pcapng: bad byte-order magic");
+      }
+      total_len = swap ? __builtin_bswap32(raw_len) : raw_len;
+      if (total_len < 28 || total_len > 1 << 24) {
+        throw std::runtime_error("pcapng: absurd SHB length");
+      }
+      // Skip the rest of the SHB: total - (4 type + 4 len + 4 bom).
+      if (!reader.skip(total_len - 12)) break;
+      first_block = false;
+      interfaces.clear();  // interface ids are per-section
+      continue;
+    }
+
+    if (swap) block_type = __builtin_bswap32(block_type);
+    total_len = load32(lb, 0, swap);
+    if (total_len < 12 || total_len > 1 << 24) {
+      throw std::runtime_error("pcapng: absurd block length");
+    }
+    const std::uint32_t body_len = total_len - 12;  // minus type+2*len
+    body.resize(body_len);
+    if (!reader.read(body)) break;
+    std::array<std::uint8_t, 4> trailer;
+    if (!reader.read(trailer)) break;
+
+    if (block_type == kNgIdb) {
+      if (body_len < 8) continue;
+      NgInterface ifc;
+      ifc.linktype = load32(body, 0, swap) & 0xffff;
+      // Walk options for if_tsresol (code 9). Option code/length are
+      // 16-bit values in the section's byte order.
+      const auto load16 = [&](std::size_t o) {
+        std::uint16_t v =
+            static_cast<std::uint16_t>(body[o] | (body[o + 1] << 8));
+        return swap ? __builtin_bswap16(v) : v;
+      };
+      std::size_t off = 8;
+      while (off + 4 <= body_len) {
+        const std::uint16_t c = load16(off);
+        const std::uint16_t l = load16(off + 2);
+        if (c == 0) break;  // opt_endofopt
+        if (c == 9 && l >= 1 && off + 4 < body_len) {
+          const std::uint8_t v = body[off + 4];
+          if (v & 0x80) {
+            ifc.ts_per_sec = 1ull << (v & 0x7f);
+          } else {
+            ifc.ts_per_sec = 1;
+            for (int e = 0; e < (v & 0x7f) && e < 18; ++e) ifc.ts_per_sec *= 10;
+          }
+        }
+        off += 4 + ((l + 3u) & ~3u);
+      }
+      interfaces.push_back(ifc);
+      continue;
+    }
+
+    if (block_type == kNgEpb) {
+      if (body_len < 20) continue;
+      ++st.records;
+      const std::uint32_t if_id = load32(body, 0, swap);
+      const std::uint64_t ts =
+          (static_cast<std::uint64_t>(load32(body, 4, swap)) << 32) |
+          load32(body, 8, swap);
+      const std::uint32_t caplen = load32(body, 12, swap);
+      if (caplen > body_len - 20) {
+        ++st.skipped;
+        continue;
+      }
+      const NgInterface ifc =
+          if_id < interfaces.size() ? interfaces[if_id] : NgInterface{};
+      const std::int64_t ts_us = static_cast<std::int64_t>(
+          static_cast<double>(ts) * 1e6 / static_cast<double>(ifc.ts_per_sec));
+      parse_frame(std::span(body).subspan(20, caplen), ifc.linktype, ts_us,
+                  trace, st);
+      continue;
+    }
+
+    if (block_type == kNgSpb) {
+      // Simple Packet Block: no timestamp; count it but skip (the analyzer
+      // is useless without timing).
+      ++st.records;
+      ++st.skipped;
+      continue;
+    }
+    // Unknown block: already consumed; ignore.
+  }
+  return trace;
+}
+
+}  // namespace
+
+net::PacketTrace read_stream(std::istream& in, ReadStats* stats) {
+  ReadStats local;
+  ReadStats& st = stats ? *stats : local;
+
+  ByteReader reader(in);
+  std::array<std::uint8_t, 4> magic;
+  if (!reader.read(magic)) throw std::runtime_error("pcap: truncated header");
+  const std::uint32_t m = load32(magic, 0, /*swap=*/false);
+  if (m == kNgShb) return read_pcapng(reader, st);
+  if (m == kMagicUsec || m == __builtin_bswap32(kMagicUsec) ||
+      m == kMagicNsec || m == __builtin_bswap32(kMagicNsec)) {
+    return read_classic(reader, magic, st);
+  }
+  throw std::runtime_error("pcap: bad magic");
+}
+
+net::PacketTrace read_file(const std::string& path, ReadStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open " + path);
+  return read_stream(in, stats);
+}
+
+}  // namespace tapo::pcap

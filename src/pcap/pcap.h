@@ -1,0 +1,49 @@
+// Capture-file formats, without a libpcap dependency:
+//
+//  - classic libpcap (the 24-byte global header + per-record headers,
+//    https://wiki.wireshark.org/Development/LibpcapFileFormat) — written
+//    and read;
+//  - pcapng (SHB/IDB/EPB block structure, the modern Wireshark/tcpdump
+//    default) — read-only.
+//
+// Files are written with LINKTYPE_RAW (raw IPv4/IPv6) and microsecond
+// timestamps. The readers additionally accept LINKTYPE_ETHERNET and
+// LINKTYPE_NULL/LOOP so real captures can be fed straight into the TAPO
+// analyzer, and handle both endiannesses, the nanosecond classic magic,
+// and per-interface pcapng timestamp resolutions. The format is
+// auto-detected from the leading magic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "net/trace.h"
+
+namespace tapo::pcap {
+
+struct WriteOptions {
+  std::uint32_t snaplen = 65535;
+};
+
+/// Serializes `trace` as a pcap file. Payload bytes are synthesized as
+/// zeros (the analyzer is payload-agnostic). Throws std::runtime_error on
+/// I/O failure.
+void write_file(const std::string& path, const net::PacketTrace& trace,
+                const WriteOptions& opts = {});
+void write_stream(std::ostream& out, const net::PacketTrace& trace,
+                  const WriteOptions& opts = {});
+
+struct ReadStats {
+  std::size_t records = 0;       // pcap records seen
+  std::size_t tcp_packets = 0;   // parsed into the trace
+  std::size_t skipped = 0;       // non-IPv4/non-TCP/truncated records
+};
+
+/// Parses a capture file (classic pcap or pcapng, auto-detected) into a
+/// PacketTrace. Non-TCP records are skipped and counted in ReadStats.
+/// Throws std::runtime_error on malformed file header.
+net::PacketTrace read_file(const std::string& path, ReadStats* stats = nullptr);
+net::PacketTrace read_stream(std::istream& in, ReadStats* stats = nullptr);
+
+}  // namespace tapo::pcap

@@ -1,0 +1,108 @@
+// Unidirectional link model: drop-tail queue + serialization at a
+// configurable bandwidth, propagation delay with jitter, and two loss
+// processes (i.i.d. random loss and Gilbert-Elliott bursts — the latter
+// drives the paper's continuous-loss and double-retransmission stalls,
+// which need correlated drops).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/trace.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace tapo::sim {
+
+struct LinkConfig {
+  /// One-way propagation delay.
+  Duration prop_delay = Duration::millis(50);
+  /// Extra per-packet delay drawn ~ Exp(jitter_mean); 0 disables. With
+  /// `fifo` set (default) jitter stretches delivery without reordering,
+  /// like a real queue: packets never overtake each other.
+  Duration jitter_mean = Duration::micros(0);
+  bool fifo = true;
+  /// With this probability a packet is held an extra `reorder_delay` and
+  /// exempted from FIFO, letting later packets overtake it.
+  double reorder_prob = 0.0;
+  Duration reorder_delay = Duration::millis(5);
+  /// Bottleneck bandwidth in bytes/second; 0 = infinite.
+  std::uint64_t bandwidth_Bps = 0;
+  /// Drop-tail queue capacity in packets (only meaningful with bandwidth).
+  std::size_t queue_packets = 64;
+
+  /// i.i.d. loss probability applied to every packet.
+  double random_loss = 0.0;
+
+  /// Correlated delay bursts (transient congestion / routing events): each
+  /// packet triggers an episode with probability delay_burst_prob; for
+  /// ~Exp(delay_burst_duration) of wall-clock time every packet is held an
+  /// extra delay_burst_extra. Unlike per-packet jitter this moves whole
+  /// windows late, producing the paper's "RTT variation" stalls without
+  /// inflating the steady-state SRTT.
+  double delay_burst_prob = 0.0;
+  Duration delay_burst_duration = Duration::millis(250);
+  Duration delay_burst_extra = Duration::millis(200);
+
+  /// Time-based burst loss (outage windows — congested middlebox buffers).
+  /// Each packet triggers an outage with probability p_good_to_bad; the
+  /// outage lasts ~ Exp(burst_duration) of wall-clock time, during which
+  /// packets drop with `bad_loss`. Time-based (not per-packet Gilbert-
+  /// Elliott) so that a retransmission seconds later sees a recovered path.
+  double p_good_to_bad = 0.0;
+  Duration burst_duration = Duration::millis(150);
+  double bad_loss = 0.9;
+};
+
+struct LinkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_random = 0;
+  std::uint64_t dropped_burst = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_total() const {
+    return dropped_random + dropped_burst + dropped_queue;
+  }
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(const net::CapturedPacket&)>;
+
+  Link(Simulator& sim, LinkConfig config, Rng rng)
+      : sim_(sim), config_(config), rng_(rng) {}
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Injects a packet at the link head. Drops are silent (counted in stats).
+  void send(net::CapturedPacket pkt);
+
+  const LinkStats& stats() const { return stats_; }
+  const LinkConfig& config() const { return config_; }
+
+  /// Runtime re-configuration (used by scripted scenarios, e.g. Fig. 2's
+  /// mid-flow loss episode).
+  void set_random_loss(double p) { config_.random_loss = p; }
+  void set_burst(double p_g2b, Duration duration, double bad_loss);
+  void set_jitter_mean(Duration d) { config_.jitter_mean = d; }
+  /// Forces an outage starting now for `duration` (scripted scenarios).
+  void force_outage(Duration duration);
+
+ private:
+  bool decide_drop();
+  std::size_t wire_size(const net::CapturedPacket& pkt) const;
+
+  Simulator& sim_;
+  LinkConfig config_;
+  Rng rng_;
+  DeliverFn deliver_;
+  LinkStats stats_;
+
+  TimePoint bad_until_ = TimePoint::epoch();
+  TimePoint slow_until_ = TimePoint::epoch();
+  TimePoint busy_until_ = TimePoint::epoch();
+  TimePoint last_arrival_ = TimePoint::epoch();
+  std::size_t queued_ = 0;
+};
+
+}  // namespace tapo::sim

@@ -1,0 +1,92 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tapo::sim {
+
+EventId Simulator::schedule(Duration delay, EventFn fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(TimePoint when, EventFn fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (handlers_.count(id)) cancelled_.insert(id);
+}
+
+bool Simulator::pop_runnable(Event& ev) {
+  while (!queue_.empty()) {
+    ev = queue_.top();
+    queue_.pop();
+    const auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      handlers_.erase(ev.id);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t executed = 0;
+  Event ev;
+  while (executed < limit && pop_runnable(ev)) {
+    now_ = ev.when;
+    auto it = handlers_.find(ev.id);
+    assert(it != handlers_.end());
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  std::size_t executed = 0;
+  Event ev;
+  while (pop_runnable(ev)) {
+    if (ev.when > deadline) {
+      // Put it back; it stays pending for a later run call.
+      queue_.push(ev);
+      break;
+    }
+    now_ = ev.when;
+    auto it = handlers_.find(ev.id);
+    assert(it != handlers_.end());
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+void Timer::arm(Duration delay) {
+  cancel();
+  deadline_ = sim_.now() + delay;
+  pending_ = sim_.schedule(delay, [this] {
+    pending_ = 0;
+    on_fire_();
+  });
+}
+
+void Timer::cancel() {
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+}  // namespace tapo::sim

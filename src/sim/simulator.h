@@ -1,0 +1,90 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with microsecond virtual time. Events
+// scheduled for the same instant fire in scheduling order (FIFO), which
+// keeps runs fully deterministic. Timers are cancellable handles — TCP
+// rearms/cancels its RTO, delayed-ACK, probe and persist timers constantly,
+// so cancellation is O(1) (lazy deletion at pop time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace tapo::sim {
+
+using EventFn = std::function<void()>;
+
+/// Identifies a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to now.
+  EventId schedule(Duration delay, EventFn fn);
+  EventId schedule_at(TimePoint when, EventFn fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (timers race with the events that cancel them).
+  void cancel(EventId id);
+
+  /// Runs until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= deadline.
+  std::size_t run_until(TimePoint deadline);
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimePoint when;
+    EventId id;
+    // Heap entry ordering: earliest time first; FIFO among equal times.
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return id > o.id;
+    }
+  };
+
+  bool pop_runnable(Event& ev);
+
+  TimePoint now_ = TimePoint::epoch();
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<EventId, EventFn> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// A self-rearming timer bound to one Simulator. Guarantees at most one
+/// pending expiry; arm() while pending reschedules.
+class Timer {
+ public:
+  Timer(Simulator& sim, EventFn on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void arm(Duration delay);
+  void cancel();
+  bool armed() const { return pending_ != 0; }
+  TimePoint deadline() const { return deadline_; }
+
+ private:
+  Simulator& sim_;
+  EventFn on_fire_;
+  EventId pending_ = 0;
+  TimePoint deadline_;
+};
+
+}  // namespace tapo::sim

@@ -1,0 +1,102 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace tapo::stats {
+
+void Cdf::add_n(double x, std::size_t n) {
+  samples_.insert(samples_.end(), n, x);
+  sorted_ = false;
+}
+
+void Cdf::merge(const Cdf& other) {
+  if (&other == this) {
+    // Self-merge: double every sample without aliasing the source range.
+    const std::size_t n = samples_.size();
+    samples_.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) samples_.push_back(samples_[i]);
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::percentile(double q) const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  // Linear interpolation between closest ranks (type-7 quantile, the R and
+  // NumPy default) so that tests have a precise definition to check against.
+  const double h = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
+}
+
+double Cdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Cdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<Cdf::Point> Cdf::curve(std::size_t points) const {
+  std::vector<Point> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i + 1) / static_cast<double>(points);
+    out.push_back({percentile(q), q});
+  }
+  return out;
+}
+
+std::vector<Cdf::Point> Cdf::curve_at(const std::vector<double>& xs) const {
+  std::vector<Point> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back({x, fraction_at_most(x)});
+  return out;
+}
+
+std::string describe(const Cdf& cdf, const std::string& unit) {
+  if (cdf.empty()) return "(no samples)";
+  return str_format("n=%zu p10=%.3g p50=%.3g p90=%.3g p99=%.3g%s%s",
+                    cdf.count(), cdf.percentile(0.10), cdf.percentile(0.50),
+                    cdf.percentile(0.90), cdf.percentile(0.99),
+                    unit.empty() ? "" : " ", unit.c_str());
+}
+
+}  // namespace tapo::stats

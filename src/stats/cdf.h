@@ -1,0 +1,53 @@
+// Empirical CDF accumulator.
+//
+// Collects samples, then answers percentile and P(X <= x) queries and renders
+// the distribution as (x, F(x)) rows — the form in which the paper's figures
+// (Fig. 1, 3, 6, 7, 10, 11, 12) are reported. Samples are stored exactly;
+// the datasets in this reproduction are small enough (millions of doubles)
+// that a sketch is unnecessary and exactness simplifies testing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tapo::stats {
+
+class Cdf {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add_n(double x, std::size_t n);
+  /// Pools another CDF's samples into this one.
+  void merge(const Cdf& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Value at quantile q in [0, 1] (q=0.5 -> median). Requires non-empty.
+  double percentile(double q) const;
+
+  /// Fraction of samples <= x.
+  double fraction_at_most(double x) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Render `points` evenly spaced (in rank) CDF rows "x F(x)".
+  struct Point { double x; double f; };
+  std::vector<Point> curve(std::size_t points = 20) const;
+
+  /// CDF evaluated at caller-chosen x positions (for log-scale figures).
+  std::vector<Point> curve_at(const std::vector<double>& xs) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Renders a one-line sparkline-style summary: p10/p50/p90/p99.
+std::string describe(const Cdf& cdf, const std::string& unit = "");
+
+}  // namespace tapo::stats

@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace tapo::stats {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  assert(edges_.size() >= 2);
+  assert(std::is_sorted(edges_.begin(), edges_.end()));
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  std::vector<double> edges;
+  edges.reserve(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(bins));
+  }
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  assert(lo > 0 && hi > lo);
+  std::vector<double> edges;
+  edges.reserve(bins + 1);
+  const double llo = std::log(lo), lhi = std::log(hi);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges.push_back(std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                      static_cast<double>(bins)));
+  }
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  counts_[static_cast<std::size_t>(it - edges_.begin()) - 1] += weight;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ ? static_cast<double>(counts_[i]) / static_cast<double>(total_)
+                : 0.0;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out += str_format("[%10.3g, %10.3g) %8llu |", edges_[i], edges_[i + 1],
+                      static_cast<unsigned long long>(counts_[i]));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tapo::stats

@@ -1,0 +1,31 @@
+// Streaming summary statistics (count/mean/variance/min/max) using
+// Welford's online algorithm so that very long runs stay numerically stable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tapo::stats {
+
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace tapo::stats

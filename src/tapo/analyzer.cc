@@ -1,0 +1,679 @@
+#include "tapo/analyzer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "util/logging.h"
+
+namespace tapo::analysis {
+
+const char* to_string(StallCause c) {
+  switch (c) {
+    case StallCause::kDataUnavailable: return "data_unavailable";
+    case StallCause::kResourceConstraint: return "resource_constraint";
+    case StallCause::kClientIdle: return "client_idle";
+    case StallCause::kZeroWindow: return "zero_rwnd";
+    case StallCause::kPacketDelay: return "packet_delay";
+    case StallCause::kRetransmission: return "retransmission";
+    case StallCause::kUndetermined: return "undetermined";
+  }
+  return "?";
+}
+
+const char* to_string(RetransCause c) {
+  switch (c) {
+    case RetransCause::kDoubleRetrans: return "double_retrans";
+    case RetransCause::kTailRetrans: return "tail_retrans";
+    case RetransCause::kSmallCwnd: return "small_cwnd";
+    case RetransCause::kSmallRwnd: return "small_rwnd";
+    case RetransCause::kContinuousLoss: return "continuous_loss";
+    case RetransCause::kAckDelayLoss: return "ack_delay_loss";
+    case RetransCause::kUndetermined: return "undetermined";
+    case RetransCause::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-segment state reconstructed by the mimic. Segments persist for the
+/// whole analysis (never popped) so stall classification can look ahead.
+struct SegMimic {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  std::size_t index = 0;  // ordinal among unique data segments
+  std::vector<TimePoint> tx_times;
+  TimePoint acked_time = TimePoint::max();
+  TimePoint sacked_time = TimePoint::max();
+  bool first_retrans_was_rto = false;
+  bool rto_retransmitted = false;
+  bool fast_retransmitted = false;
+  bool dsacked = false;
+  // Live flags during the walk (scoreboard mirror).
+  bool acked = false;
+  bool sacked = false;
+  bool lost_est = false;
+  bool retrans_pending = false;
+
+  std::uint32_t len() const { return end - start; }
+  int transmissions() const { return static_cast<int>(tx_times.size()); }
+};
+
+/// Per-packet snapshot written during the mimic walk (pass 1) and consumed
+/// by the stall detector/classifier (pass 2).
+struct PktAnno {
+  tcp::CaState state = tcp::CaState::kOpen;
+  std::uint32_t in_flight = 0;
+  std::uint32_t outstanding = 0;  // packets_out
+  std::uint32_t cwnd_est = 0;
+  std::uint32_t rwnd_scaled = 0;
+  bool has_srtt = false;
+  Duration srtt;
+  Duration rto;
+  bool established = false;
+
+  bool server_data = false;
+  bool is_retrans = false;
+  bool is_timeout_retrans = false;
+  int prior_retrans = 0;
+  bool first_retrans_was_rto = false;
+  int seg_idx = -1;
+  bool is_request = false;
+};
+
+class FlowMimic {
+ public:
+  FlowMimic(const Flow& flow, const AnalyzerConfig& config)
+      : flow_(flow), config_(config), rto_(config.rto) {
+    snd_nxt_ = flow.server_isn + 1;
+    snd_una_ = flow.server_isn + 1;
+    head_seqs_.insert(snd_nxt_);  // the first response starts the stream
+  }
+
+  void run(FlowAnalysis& out);
+
+ private:
+  SegMimic* find_seg(std::uint32_t seq);
+  std::uint32_t packets_out() const;
+  std::uint32_t in_flight() const;
+  void mark_lost_by_sack();
+  void process_server_packet(const FlowPacket& p, PktAnno& a);
+  void process_client_packet(const FlowPacket& p, PktAnno& a,
+                             FlowAnalysis& out);
+  void snapshot(PktAnno& a) const;
+  void detect_and_classify(FlowAnalysis& out);
+  StallRecord classify_stall(std::size_t prev_idx, std::size_t cur_idx) const;
+  RetransCause classify_retrans(const PktAnno& prev, const PktAnno& cur,
+                                TimePoint stall_start, bool& f_double) const;
+  std::uint32_t response_end_for(const SegMimic& seg) const;
+
+  const Flow& flow_;
+  const AnalyzerConfig& config_;
+  tcp::RtoEstimator rto_;
+
+  std::vector<SegMimic> segs_;
+  std::vector<PktAnno> annos_;
+  std::set<std::uint32_t> head_seqs_;  // response start sequences
+
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t first_unacked_idx_ = 0;  // index into segs_ (monotone)
+
+  tcp::CaState state_ = tcp::CaState::kOpen;
+  std::uint32_t cwnd_est_ = 3;
+  std::uint32_t ssthresh_est_ = 0x7fffffff;
+  std::uint32_t cwnd_credit_ = 0;
+  std::uint32_t dupacks_ = 0;
+  std::uint32_t high_seq_est_ = 0;
+  std::uint32_t rwnd_scaled_ = 0xffffffff;
+  bool established_ = false;
+  TimePoint synack_ts_;
+  bool saw_synack_ = false;
+  bool handshake_sampled_ = false;
+
+  double rto_sample_sum_us_ = 0.0;
+  std::uint64_t rto_sample_count_ = 0;
+};
+
+SegMimic* FlowMimic::find_seg(std::uint32_t seq) {
+  // Segments are sorted by start; binary search for the containing one.
+  auto it = std::upper_bound(
+      segs_.begin(), segs_.end(), seq,
+      [](std::uint32_t s, const SegMimic& seg) { return s < seg.start; });
+  if (it == segs_.begin()) return nullptr;
+  --it;
+  return (seq >= it->start && seq < it->end) ? &*it : nullptr;
+}
+
+std::uint32_t FlowMimic::packets_out() const {
+  std::uint32_t n = 0;
+  for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
+    if (!segs_[i].acked) ++n;
+  }
+  return n;
+}
+
+std::uint32_t FlowMimic::in_flight() const {
+  // Eq. 1: packets_out + retrans_out - (sacked_out + lost_out).
+  std::uint32_t out = 0, retrans = 0, sacked = 0, lost = 0;
+  for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
+    const SegMimic& s = segs_[i];
+    if (s.acked) continue;
+    ++out;
+    if (s.retrans_pending) ++retrans;
+    if (s.sacked) ++sacked;
+    if (s.lost_est) ++lost;
+  }
+  const std::uint32_t gone = sacked + lost;
+  const std::uint32_t total = out + retrans;
+  return total > gone ? total - gone : 0;
+}
+
+void FlowMimic::mark_lost_by_sack() {
+  std::uint32_t sacked_above = 0;
+  for (std::size_t i = segs_.size(); i-- > first_unacked_idx_;) {
+    SegMimic& s = segs_[i];
+    if (s.acked) break;
+    if (s.sacked) {
+      ++sacked_above;
+    } else if (!s.lost_est && sacked_above >= config_.dupthres) {
+      s.lost_est = true;
+      s.retrans_pending = false;
+    }
+  }
+}
+
+void FlowMimic::snapshot(PktAnno& a) const {
+  a.state = state_;
+  a.in_flight = in_flight();
+  a.outstanding = packets_out();
+  a.cwnd_est = cwnd_est_;
+  a.rwnd_scaled = rwnd_scaled_;
+  a.has_srtt = rto_.has_sample();
+  a.srtt = rto_.srtt();
+  a.rto = rto_.rto();
+  a.established = established_;
+}
+
+void FlowMimic::process_server_packet(const FlowPacket& p, PktAnno& a) {
+  const std::uint32_t eff_len = p.payload + (p.flags.fin ? 1u : 0u);
+  if (p.flags.syn) {
+    synack_ts_ = p.ts;
+    saw_synack_ = true;
+    return;
+  }
+  if (eff_len == 0) return;  // pure ACK
+
+  a.server_data = true;
+  const std::uint32_t end = p.seq + eff_len;
+
+  if (p.seq >= snd_nxt_) {
+    // New data.
+    SegMimic seg;
+    seg.start = p.seq;
+    seg.end = end;
+    seg.index = segs_.size();
+    seg.tx_times.push_back(p.ts);
+    a.seg_idx = static_cast<int>(seg.index);
+    segs_.push_back(std::move(seg));
+    snd_nxt_ = end;
+    return;
+  }
+
+  // Retransmission.
+  SegMimic* seg = find_seg(p.seq);
+  if (seg == nullptr) return;  // overlap we cannot attribute
+  a.is_retrans = true;
+  a.seg_idx = static_cast<int>(seg->index);
+  a.prior_retrans = seg->transmissions() - 1;
+
+  const Duration elapsed = p.ts - seg->tx_times.back();
+  const Duration rto_now = rto_.rto();
+  bool is_rto;
+  if (dupacks_ >= config_.dupthres && elapsed < rto_now) {
+    is_rto = false;  // enough dupacks and before the timer: fast retransmit
+  } else {
+    is_rto = elapsed >= rto_now * config_.rto_fraction;
+  }
+  a.is_timeout_retrans = is_rto;
+  a.first_retrans_was_rto = seg->first_retrans_was_rto;
+
+  if (seg->transmissions() == 1) seg->first_retrans_was_rto = is_rto;
+  seg->tx_times.push_back(p.ts);
+  seg->retrans_pending = true;
+
+  if (is_rto) {
+    seg->rto_retransmitted = true;
+    if (state_ != tcp::CaState::kLoss) {
+      ssthresh_est_ = std::max<std::uint32_t>(cwnd_est_ / 2, 2);
+    }
+    state_ = tcp::CaState::kLoss;
+    high_seq_est_ = snd_nxt_;
+    cwnd_est_ = 1;
+    dupacks_ = 0;
+    for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
+      SegMimic& s = segs_[i];
+      if (!s.acked && !s.sacked) s.lost_est = true;
+    }
+    seg->lost_est = true;  // keep consistent (it is being retransmitted)
+  } else {
+    seg->fast_retransmitted = true;
+    seg->lost_est = true;
+    if (state_ != tcp::CaState::kRecovery && state_ != tcp::CaState::kLoss) {
+      state_ = tcp::CaState::kRecovery;
+      ssthresh_est_ = std::max<std::uint32_t>(cwnd_est_ / 2, 2);
+      high_seq_est_ = snd_nxt_;
+    }
+  }
+}
+
+void FlowMimic::process_client_packet(const FlowPacket& p, PktAnno& a,
+                                      FlowAnalysis& out) {
+  if (p.flags.syn) return;
+  if (!established_) established_ = true;
+
+  // Handshake RTT seed (SYN-ACK -> first client ACK), as the kernel does.
+  if (saw_synack_ && !handshake_sampled_ && p.flags.ack) {
+    handshake_sampled_ = true;
+    const Duration rtt = p.ts - synack_ts_;
+    rto_.sample(rtt);
+    out.rtt_samples_us.push_back(static_cast<double>(rtt.us()));
+  }
+
+  rwnd_scaled_ = static_cast<std::uint32_t>(p.window) << flow_.client_wscale;
+  if (rwnd_scaled_ == 0) out.had_zero_rwnd = true;
+
+  if (p.payload > 0) {
+    a.is_request = true;
+    // The next new server data starts a fresh response.
+    head_seqs_.insert(snd_nxt_);
+  }
+
+  if (!p.flags.ack) return;
+
+  // DSACK detection (RFC 2883): leading block below the cumulative ACK or
+  // contained in the second block.
+  if (!p.sacks.empty()) {
+    const auto& b0 = p.sacks[0];
+    const bool below_ack = b0.end <= p.ack;
+    const bool inside_second = p.sacks.size() >= 2 &&
+                               b0.start >= p.sacks[1].start &&
+                               b0.end <= p.sacks[1].end;
+    if (below_ack || inside_second) {
+      if (SegMimic* seg = find_seg(b0.start)) {
+        if (!seg->dsacked && seg->transmissions() > 1) {
+          seg->dsacked = true;
+          ++out.spurious_retrans;
+        }
+      }
+    }
+  }
+
+  // SACK application (blocks above snd_una).
+  std::uint32_t newly_sacked = 0;
+  for (const auto& b : p.sacks) {
+    if (b.end <= snd_una_) continue;
+    for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
+      SegMimic& s = segs_[i];
+      if (s.acked || s.sacked) continue;
+      if (s.start >= b.start && s.end <= b.end) {
+        s.sacked = true;
+        s.sacked_time = std::min(s.sacked_time, p.ts);
+        s.lost_est = false;
+        s.retrans_pending = false;
+        ++newly_sacked;
+        if (s.transmissions() == 1) {
+          // SACK-time RTT sample, mirroring the sender.
+          const Duration rtt = p.ts - s.tx_times.front();
+          rto_.sample(rtt);
+          out.rtt_samples_us.push_back(static_cast<double>(rtt.us()));
+        }
+      }
+    }
+  }
+
+  const bool ack_advanced = p.ack > snd_una_;
+  std::uint32_t n_acked = 0;
+  if (ack_advanced) {
+    // Karn's rule + newest-candidate sampling, mirroring the sender.
+    TimePoint newest;
+    bool have = false;
+    for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
+      SegMimic& s = segs_[i];
+      if (s.end > p.ack) break;
+      if (!s.acked) {
+        s.acked = true;
+        s.acked_time = p.ts;
+        ++n_acked;
+        if (s.transmissions() == 1 && !s.sacked &&
+            (!have || s.tx_times.front() > newest)) {
+          newest = s.tx_times.front();
+          have = true;
+        }
+      }
+      first_unacked_idx_ = i + 1;
+    }
+    if (have) {
+      const Duration rtt = p.ts - newest;
+      rto_.sample(rtt);
+      out.rtt_samples_us.push_back(static_cast<double>(rtt.us()));
+    }
+    snd_una_ = p.ack;
+    dupacks_ = 0;
+  } else if (p.payload == 0 && packets_out() > 0) {
+    ++dupacks_;
+  }
+
+  // State transitions mirroring Fig. 4.
+  switch (state_) {
+    case tcp::CaState::kOpen:
+    case tcp::CaState::kDisorder: {
+      std::uint32_t sacked_out = 0;
+      for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
+        if (!segs_[i].acked && segs_[i].sacked) ++sacked_out;
+      }
+      state_ = (dupacks_ > 0 || sacked_out > 0) ? tcp::CaState::kDisorder
+                                                : tcp::CaState::kOpen;
+      mark_lost_by_sack();
+      if (ack_advanced) {
+        // Window growth (Reno-like estimate).
+        if (cwnd_est_ < ssthresh_est_) {
+          cwnd_est_ += n_acked;
+        } else {
+          cwnd_credit_ += n_acked;
+          if (cwnd_credit_ >= cwnd_est_ && cwnd_est_ > 0) {
+            cwnd_credit_ -= cwnd_est_;
+            ++cwnd_est_;
+          }
+        }
+      }
+      break;
+    }
+    case tcp::CaState::kRecovery: {
+      mark_lost_by_sack();
+      if (snd_una_ >= high_seq_est_) {
+        state_ = tcp::CaState::kOpen;
+        cwnd_est_ = std::min(cwnd_est_, std::max<std::uint32_t>(ssthresh_est_, 2));
+        dupacks_ = 0;
+      } else if (++cwnd_credit_ % 2 == 0 && cwnd_est_ > ssthresh_est_) {
+        --cwnd_est_;  // rate halving
+      }
+      break;
+    }
+    case tcp::CaState::kLoss: {
+      if (ack_advanced) {
+        if (cwnd_est_ < ssthresh_est_) cwnd_est_ += n_acked;
+      }
+      if (snd_una_ >= high_seq_est_) {
+        state_ = tcp::CaState::kOpen;
+        dupacks_ = 0;
+      }
+      break;
+    }
+  }
+
+  if (config_.sample_inflight_on_ack) {
+    out.inflight_on_ack.push_back(in_flight());
+  }
+  rto_sample_sum_us_ += static_cast<double>(rto_.rto().us());
+  ++rto_sample_count_;
+  (void)newly_sacked;
+}
+
+std::uint32_t FlowMimic::response_end_for(const SegMimic& seg) const {
+  auto it = head_seqs_.upper_bound(seg.start);
+  if (it != head_seqs_.end()) return *it;
+  return snd_nxt_;  // final: end of everything the server sent
+}
+
+void FlowMimic::run(FlowAnalysis& out) {
+  out.key = flow_.server_to_client;
+  out.init_rwnd_bytes = flow_.init_rwnd_bytes;
+  out.init_rwnd_mss =
+      flow_.mss ? flow_.init_rwnd_bytes / flow_.mss : 0;
+
+  annos_.resize(flow_.packets.size());
+  for (std::size_t i = 0; i < flow_.packets.size(); ++i) {
+    const FlowPacket& p = flow_.packets[i];
+    PktAnno& a = annos_[i];
+    if (p.from_server) {
+      process_server_packet(p, a);
+      if (a.server_data) {
+        ++out.data_segments;
+        if (a.is_retrans) {
+          ++out.retrans_segments;
+          if (a.is_timeout_retrans) {
+            ++out.timeout_retrans;
+            // The observed inter-transmission gap IS the timer that fired,
+            // including any exponential backoff.
+            const auto& seg = segs_[static_cast<std::size_t>(a.seg_idx)];
+            const auto n = seg.tx_times.size();
+            const Duration fired =
+                seg.tx_times[n - 1] - seg.tx_times[n - 2];
+            out.rto_at_timeout_us.push_back(static_cast<double>(fired.us()));
+          } else {
+            ++out.fast_retrans;
+          }
+        }
+      }
+    } else {
+      process_client_packet(p, a, out);
+    }
+    snapshot(a);
+    // The packet-specific fields were filled before snapshot; snapshot only
+    // fills the state fields.
+  }
+
+  // Transfer-level metrics.
+  if (!flow_.packets.empty()) {
+    out.transmission_time =
+        flow_.packets.back().ts - flow_.packets.front().ts;
+  }
+  for (const auto& s : segs_) out.unique_bytes += s.len();
+  if (!out.rtt_samples_us.empty()) {
+    double sum = 0;
+    for (double r : out.rtt_samples_us) sum += r;
+    out.avg_rtt_us = sum / static_cast<double>(out.rtt_samples_us.size());
+  }
+  if (rto_sample_count_ > 0) {
+    out.avg_rto_on_ack_us =
+        rto_sample_sum_us_ / static_cast<double>(rto_sample_count_);
+  }
+  if (!out.rto_at_timeout_us.empty()) {
+    double sum = 0;
+    for (double r : out.rto_at_timeout_us) sum += r;
+    out.avg_rto_us = sum / static_cast<double>(out.rto_at_timeout_us.size());
+  }
+
+  detect_and_classify(out);
+
+  // Average speed over the *active* data phase: first payload transmission
+  // to flow end, minus stalled time — i.e. the transfer rate the service
+  // delivers while actually moving data.
+  if (!segs_.empty() && !flow_.packets.empty()) {
+    const Duration data_phase =
+        flow_.packets.back().ts - segs_.front().tx_times.front();
+    // Stalls that straddle the start of the data phase (e.g. a back-end
+    // fetch ending in the first data packet) can push `active` to zero;
+    // fall back to the raw data-phase rate then.
+    Duration active = data_phase - out.stalled_time;
+    if (active <= Duration::zero()) active = data_phase;
+    if (active > Duration::zero()) {
+      out.avg_speed_Bps = static_cast<double>(out.unique_bytes) / active.sec();
+    }
+  }
+}
+
+void FlowMimic::detect_and_classify(FlowAnalysis& out) {
+  for (std::size_t i = 0; i + 1 < flow_.packets.size(); ++i) {
+    const PktAnno& prev = annos_[i];
+    if (!prev.established || !prev.has_srtt) continue;
+    const Duration gap = flow_.packets[i + 1].ts - flow_.packets[i].ts;
+    const Duration thresh = std::min(prev.srtt * config_.tau, prev.rto);
+    if (gap <= thresh) continue;
+
+    StallRecord rec = classify_stall(i, i + 1);
+    out.stalled_time += rec.duration;
+    out.stalls.push_back(rec);
+  }
+  if (out.transmission_time > Duration::zero()) {
+    out.stall_ratio = out.stalled_time / out.transmission_time;
+  }
+}
+
+StallRecord FlowMimic::classify_stall(std::size_t prev_idx,
+                                      std::size_t cur_idx) const {
+  const PktAnno& prev = annos_[prev_idx];
+  const PktAnno& cur = annos_[cur_idx];
+  StallRecord rec;
+  rec.start = flow_.packets[prev_idx].ts;
+  rec.end = flow_.packets[cur_idx].ts;
+  rec.duration = rec.end - rec.start;
+  rec.state_at_stall = prev.state;
+  rec.in_flight = prev.in_flight;
+  rec.cur_pkt_index = cur_idx;
+  if (cur.seg_idx >= 0 && !segs_.empty()) {
+    rec.rel_position = static_cast<double>(cur.seg_idx) /
+                       static_cast<double>(segs_.size());
+  }
+
+  if (cur.server_data && cur.is_retrans) {
+    if (cur.is_timeout_retrans) {
+      rec.cause = StallCause::kRetransmission;
+      bool f_double = false;
+      rec.retrans_cause = classify_retrans(prev, cur, rec.start, f_double);
+      rec.f_double = f_double;
+    } else {
+      // A fast retransmit after a long gap: the network delayed the dupacks
+      // or data; no timeout fired.
+      rec.cause = StallCause::kPacketDelay;
+    }
+    return rec;
+  }
+
+  if (prev.rwnd_scaled == 0) {
+    rec.cause = StallCause::kZeroWindow;
+    return rec;
+  }
+
+  if (cur.is_request && prev.outstanding == 0) {
+    rec.cause = StallCause::kClientIdle;
+    return rec;
+  }
+
+  if (cur.server_data && !cur.is_retrans && cur.seg_idx >= 0 &&
+      prev.outstanding == 0) {
+    // (seg_idx can be -1 for malformed traces where a transmission below
+    // snd_nxt matches no tracked segment — those fall through.)
+    const SegMimic& seg = segs_[static_cast<std::size_t>(cur.seg_idx)];
+    rec.cause = head_seqs_.count(seg.start)
+                    ? StallCause::kDataUnavailable
+                    : StallCause::kResourceConstraint;
+    return rec;
+  }
+
+  if (prev.outstanding > 0) {
+    // Something was in flight and eventually showed up without any
+    // retransmission: the network delayed data or ACKs.
+    rec.cause = StallCause::kPacketDelay;
+    return rec;
+  }
+
+  rec.cause = StallCause::kUndetermined;
+  return rec;
+}
+
+RetransCause FlowMimic::classify_retrans(const PktAnno& prev,
+                                         const PktAnno& cur,
+                                         TimePoint stall_start,
+                                         bool& f_double) const {
+  const SegMimic& seg = segs_[static_cast<std::size_t>(cur.seg_idx)];
+
+  // 1. Double retransmission: the segment had already been retransmitted
+  //    before this timeout retransmission (§4.1).
+  if (cur.prior_retrans >= 1) {
+    f_double = !cur.first_retrans_was_rto;
+    return RetransCause::kDoubleRetrans;
+  }
+
+  // The tail / small-window / continuous-loss rules all describe *genuine
+  // loss* scenarios. A DSACK for this segment proves the data arrived and
+  // only the feedback path failed, so those rules do not apply (§4.3:
+  // "segments are identified as not lost through DSACK").
+  const bool genuinely_lost = !seg.dsacked;
+
+  // 2. Tail retransmission: the segment sits at the end of its response
+  //    (within dupthres segments of the response boundary), so the receiver
+  //    cannot generate enough dupacks (§4.2).
+  const std::uint32_t resp_end = response_end_for(seg);
+  const std::uint32_t tail_zone =
+      config_.dupthres * static_cast<std::uint32_t>(flow_.mss);
+  if (genuinely_lost && resp_end - seg.end < tail_zone) {
+    return RetransCause::kTailRetrans;
+  }
+
+  // 3/4. Small in-flight: fast retransmit cannot trigger (< 4 MSS, §4.3);
+  //      attribute to whichever of cwnd / rwnd was the limit.
+  if (genuinely_lost && prev.in_flight < config_.small_inflight) {
+    const std::uint64_t cwnd_bytes =
+        static_cast<std::uint64_t>(prev.cwnd_est) * flow_.mss;
+    if (cwnd_bytes <= prev.rwnd_scaled) return RetransCause::kSmallCwnd;
+    return RetransCause::kSmallRwnd;
+  }
+
+  // 5. Continuous loss: every outstanding packet in the window was lost
+  //    (>= 4 outstanding, §4.3). Look ahead: each segment outstanding and
+  //    unSACKed at stall start was retransmitted later (or never delivered).
+  std::uint32_t outstanding = 0;
+  bool all_lost = true;
+  for (const auto& s : segs_) {
+    if (s.tx_times.front() > stall_start) continue;   // sent after the stall
+    if (s.acked_time <= stall_start) continue;        // already acked
+    if (s.sacked_time <= stall_start) continue;       // already sacked
+    ++outstanding;
+    bool retransmitted_after = false;
+    for (const TimePoint t : s.tx_times) {
+      if (t > stall_start) {
+        retransmitted_after = true;
+        break;
+      }
+    }
+    const bool never_delivered = s.acked_time == TimePoint::max() &&
+                                 s.sacked_time == TimePoint::max();
+    if (!retransmitted_after && !never_delivered) {
+      all_lost = false;
+    }
+  }
+  if (genuinely_lost && outstanding >= 4 && all_lost) {
+    return RetransCause::kContinuousLoss;
+  }
+
+  // 6. ACK delay/loss: DSACK proves the data arrived — only the feedback
+  //    path failed (§4.3).
+  if (seg.dsacked) return RetransCause::kAckDelayLoss;
+
+  return RetransCause::kUndetermined;
+}
+
+}  // namespace
+
+FlowAnalysis Analyzer::analyze_flow(const Flow& flow) const {
+  FlowAnalysis out;
+  FlowMimic mimic(flow, config_);
+  mimic.run(out);
+  return out;
+}
+
+AnalysisResult Analyzer::analyze(const net::PacketTrace& trace,
+                                 const DemuxOptions& demux) const {
+  AnalysisResult result;
+  const auto flows = demux_flows(trace, demux);
+  result.flows.reserve(flows.size());
+  for (const auto& flow : flows) {
+    result.flows.push_back(analyze_flow(flow));
+  }
+  return result;
+}
+
+}  // namespace tapo::analysis

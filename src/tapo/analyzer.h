@@ -1,0 +1,141 @@
+// TAPO: the paper's TCP stall diagnosis tool (§3).
+//
+// Per flow, the analyzer (1) mimics the server TCP stack from the trace to
+// reconstruct the Table-2 parameters (congestion state, cwnd estimate,
+// in_flight, sacked_out/lost_out, retransmission counts, SRTT/RTO per
+// RFC 6298), (2) detects stalls — inter-packet gaps at the server larger
+// than min(tau*SRTT, RTO), tau = 2 (§2.2) — and (3) classifies each stall's
+// root cause with the Fig.-5 decision tree, sub-classifying timeout-
+// retransmission stalls in the Table-5 precedence order.
+//
+// Unlike the live sender, the analyzer sees the whole trace, so it refines
+// lost_out with DSACK evidence (spurious retransmissions) and can resolve
+// the loss-vs-delay ambiguity retrospectively (§3.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tapo/flow.h"
+#include "tcp/rto.h"
+#include "tcp/types.h"
+
+namespace tapo::analysis {
+
+/// Top-level stall causes (Table 3 rows).
+enum class StallCause : std::uint8_t {
+  kDataUnavailable,     // server: content fetched from back-end
+  kResourceConstraint,  // server: app starved the socket mid-transfer
+  kClientIdle,          // client: no request pending
+  kZeroWindow,          // client: advertised rwnd hit zero
+  kPacketDelay,         // network: delay without timeout retransmission
+  kRetransmission,      // network: timeout retransmission
+  kUndetermined,
+};
+constexpr std::size_t kNumStallCauses = 7;
+const char* to_string(StallCause c);
+
+/// Timeout-retransmission stall breakdown (Table 5 rows, in the paper's
+/// examination order).
+enum class RetransCause : std::uint8_t {
+  kDoubleRetrans,
+  kTailRetrans,
+  kSmallCwnd,
+  kSmallRwnd,
+  kContinuousLoss,
+  kAckDelayLoss,
+  kUndetermined,
+  kNone,  // stall is not a timeout-retransmission stall
+};
+constexpr std::size_t kNumRetransCauses = 7;  // excluding kNone
+const char* to_string(RetransCause c);
+
+struct StallRecord {
+  TimePoint start;
+  TimePoint end;
+  Duration duration;
+  StallCause cause = StallCause::kUndetermined;
+  RetransCause retrans_cause = RetransCause::kNone;
+  /// Double-retransmission split (Table 6): true when the *first*
+  /// retransmission of the segment was a fast retransmit (f-double).
+  bool f_double = false;
+  /// Congestion-avoidance state when the stall began (Table 7).
+  tcp::CaState state_at_stall = tcp::CaState::kOpen;
+  /// Eq.-1 in-flight estimate when the stall began (Fig. 7b / 10b / 12).
+  std::uint32_t in_flight = 0;
+  /// Retransmitted packet index / data packets in flow (Fig. 7a / 10a).
+  double rel_position = 0.0;
+  /// Index (into Flow::packets) of the packet that ended the stall.
+  std::size_t cur_pkt_index = 0;
+};
+
+struct FlowAnalysis {
+  net::FlowKey key;
+  // -- transfer level --
+  Duration transmission_time;        // first to last packet
+  std::uint64_t unique_bytes = 0;    // de-duplicated server payload
+  std::uint64_t data_segments = 0;   // server data packets incl. retrans
+  std::uint64_t retrans_segments = 0;
+  double avg_speed_Bps = 0.0;
+  // -- RTT / RTO --
+  std::vector<double> rtt_samples_us;      // per non-retransmitted segment
+  std::vector<double> rto_at_timeout_us;   // RTO at each timeout retrans
+  double avg_rtt_us = 0.0;
+  /// Mean RTO recorded at timeout retransmissions ("the RTO is recorded
+  /// for each timeout retransmission", §2.1) — includes backoff. Zero when
+  /// the flow had no timeouts.
+  double avg_rto_us = 0.0;
+  /// Mean RTO estimate sampled on every ACK (estimator state, no backoff).
+  double avg_rto_on_ack_us = 0.0;
+  // -- stalls --
+  std::vector<StallRecord> stalls;
+  Duration stalled_time;
+  double stall_ratio = 0.0;  // stalled / transmission (Fig. 3)
+  // -- receiver side --
+  std::uint32_t init_rwnd_bytes = 0;
+  std::uint32_t init_rwnd_mss = 0;
+  bool had_zero_rwnd = false;
+  // -- in-flight samples on every ACK (Fig. 11) --
+  std::vector<std::uint32_t> inflight_on_ack;
+
+  std::uint64_t timeout_retrans = 0;  // timeout retransmissions observed
+  std::uint64_t fast_retrans = 0;
+  std::uint64_t spurious_retrans = 0;  // DSACK-confirmed
+};
+
+struct AnalyzerConfig {
+  /// Stall threshold multiplier: gap > min(tau*SRTT, RTO).
+  double tau = 2.0;
+  std::uint32_t dupthres = 3;
+  /// "Small" in-flight bound for the small-cwnd/rwnd rules (< 4 MSS, §4.3).
+  std::uint32_t small_inflight = 4;
+  /// RTO parameters matching the measured kernel.
+  tcp::RtoConfig rto;
+  /// A retransmission counts as timeout-driven when the segment had been
+  /// quiet for at least this fraction of the estimated RTO.
+  double rto_fraction = 0.9;
+  /// Collect Fig.-11 in-flight samples (costs memory on big traces).
+  bool sample_inflight_on_ack = true;
+};
+
+struct AnalysisResult {
+  std::vector<FlowAnalysis> flows;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerConfig config = {}) : config_(config) {}
+
+  FlowAnalysis analyze_flow(const Flow& flow) const;
+
+  AnalysisResult analyze(const net::PacketTrace& trace,
+                         const DemuxOptions& demux = {}) const;
+
+  const AnalyzerConfig& config() const { return config_; }
+
+ private:
+  AnalyzerConfig config_;
+};
+
+}  // namespace tapo::analysis

@@ -1,0 +1,103 @@
+#include "tapo/flow.h"
+
+#include <unordered_map>
+
+namespace tapo::analysis {
+namespace {
+
+struct Builder {
+  net::FlowKey canonical;
+  std::vector<const net::CapturedPacket*> pkts;
+  // Per-endpoint bookkeeping keyed by "is packet's src == canonical.src".
+  std::uint64_t payload_a = 0, payload_b = 0;
+  bool synack_from_a = false, synack_from_b = false;
+};
+
+}  // namespace
+
+std::vector<Flow> demux_flows(const net::PacketTrace& trace,
+                              const DemuxOptions& opts) {
+  std::unordered_map<net::FlowKey, Builder, net::FlowKeyHash> table;
+  std::vector<net::FlowKey> order;  // stable output order
+
+  for (const auto& pkt : trace.packets()) {
+    const net::FlowKey canon = pkt.key.canonical();
+    auto [it, inserted] = table.try_emplace(canon);
+    if (inserted) {
+      it->second.canonical = canon;
+      order.push_back(canon);
+    }
+    Builder& b = it->second;
+    b.pkts.push_back(&pkt);
+    const bool from_a = pkt.key == canon;
+    if (from_a) {
+      b.payload_a += pkt.payload_len;
+      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) b.synack_from_a = true;
+    } else {
+      b.payload_b += pkt.payload_len;
+      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) b.synack_from_b = true;
+    }
+  }
+
+  std::vector<Flow> flows;
+  flows.reserve(order.size());
+  for (const auto& key : order) {
+    Builder& b = table.at(key);
+    if (b.pkts.size() < opts.min_packets) continue;
+
+    // Decide which endpoint is the server.
+    bool server_is_a;
+    if (opts.server_port != 0) {
+      server_is_a = b.canonical.src_port == opts.server_port;
+    } else if (b.synack_from_a != b.synack_from_b) {
+      server_is_a = b.synack_from_a;
+    } else {
+      server_is_a = b.payload_a >= b.payload_b;
+    }
+
+    Flow flow;
+    flow.server_to_client =
+        server_is_a ? b.canonical : b.canonical.reversed();
+    flow.packets.reserve(b.pkts.size());
+
+    for (const net::CapturedPacket* cp : b.pkts) {
+      FlowPacket fp;
+      fp.ts = cp->timestamp;
+      fp.from_server = cp->key == flow.server_to_client;
+      fp.seq = cp->tcp.seq;
+      fp.ack = cp->tcp.ack;
+      fp.payload = cp->payload_len;
+      fp.flags = cp->tcp.flags;
+      fp.window = cp->tcp.window;
+      fp.sacks = cp->tcp.sack_blocks;
+
+      if (fp.flags.syn && !fp.flags.ack && !fp.from_server) {
+        flow.saw_syn = true;
+        flow.client_isn = fp.seq;
+        flow.syn_window = fp.window;
+        if (cp->tcp.mss) flow.mss = *cp->tcp.mss;
+        flow.sack_permitted = cp->tcp.sack_permitted;
+        flow.client_wscale = cp->tcp.window_scale.value_or(0);
+      } else if (fp.flags.syn && fp.flags.ack && fp.from_server) {
+        flow.saw_synack = true;
+        flow.server_isn = fp.seq;
+      } else if (!fp.from_server && flow.init_rwnd_bytes == 0 &&
+                 flow.saw_synack && fp.flags.ack && !fp.flags.syn) {
+        flow.init_rwnd_bytes = static_cast<std::uint32_t>(fp.window)
+                               << flow.client_wscale;
+      }
+      if (fp.flags.fin) flow.saw_fin = true;
+      if (fp.from_server) {
+        flow.server_payload_bytes += fp.payload;
+      } else {
+        flow.client_payload_bytes += fp.payload;
+      }
+      flow.packets.push_back(std::move(fp));
+    }
+    if (flow.init_rwnd_bytes == 0) flow.init_rwnd_bytes = flow.syn_window;
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+}  // namespace tapo::analysis

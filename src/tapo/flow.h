@@ -1,0 +1,67 @@
+// Flow reconstruction: demultiplexes a server-side packet trace into
+// per-connection flows oriented server->client, and extracts the handshake
+// parameters TAPO's classifier needs (MSS, SACK permission, window scale,
+// initial receive window — Table 2's "receiver side" category).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace tapo::analysis {
+
+/// One packet of a reconstructed flow, reduced to the fields the analyzer
+/// uses. `from_server` orients the packet relative to the data sender.
+struct FlowPacket {
+  TimePoint ts;
+  bool from_server = false;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint32_t payload = 0;
+  net::TcpFlags flags;
+  std::uint32_t window = 0;  // raw field (unscaled)
+  std::vector<net::SackBlock> sacks;
+
+  std::uint32_t end_seq() const {
+    return seq + payload + (flags.syn ? 1u : 0u) + (flags.fin ? 1u : 0u);
+  }
+};
+
+struct Flow {
+  net::FlowKey server_to_client;  // orientation key (server is src)
+  std::vector<FlowPacket> packets;
+
+  bool saw_syn = false;
+  bool saw_synack = false;
+  bool saw_fin = false;
+
+  std::uint32_t client_isn = 0;
+  std::uint32_t server_isn = 0;
+  std::uint16_t mss = 1448;
+  bool sack_permitted = false;
+  std::uint8_t client_wscale = 0;
+  /// Window advertised by the client in its SYN (unscaled, bytes).
+  std::uint32_t syn_window = 0;
+  /// First data-phase window from the client, scaled (bytes). This is the
+  /// "initial rwnd" the paper studies (Fig. 6 / Table 4); falls back to
+  /// syn_window when the client never sent a data-phase ACK.
+  std::uint32_t init_rwnd_bytes = 0;
+
+  std::uint64_t server_payload_bytes = 0;  // sum over packets (incl. retrans)
+  std::uint64_t client_payload_bytes = 0;
+};
+
+struct DemuxOptions {
+  /// The server's port; 0 auto-detects (the endpoint that sent a SYN-ACK,
+  /// falling back to the endpoint with more payload bytes).
+  std::uint16_t server_port = 0;
+  /// Drop flows with fewer packets than this (noise in real captures).
+  std::size_t min_packets = 1;
+};
+
+/// Splits `trace` into flows. Packets within a flow keep capture order.
+std::vector<Flow> demux_flows(const net::PacketTrace& trace,
+                              const DemuxOptions& opts = {});
+
+}  // namespace tapo::analysis

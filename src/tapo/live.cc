@@ -1,0 +1,87 @@
+#include "tapo/live.h"
+
+#include <utility>
+
+namespace tapo::analysis {
+
+LiveAnalyzer::LiveAnalyzer(LiveConfig config, FlowDoneFn on_flow_done)
+    : config_(config),
+      on_flow_done_(std::move(on_flow_done)),
+      analyzer_(config.analyzer) {}
+
+void LiveAnalyzer::finalize(const net::FlowKey& key) {
+  auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  Entry entry = std::move(it->second);
+  lru_.erase(entry.lru_it);
+  flows_.erase(it);
+  ++stats_.flows_finalized;
+  stats_.active_flows = flows_.size();
+  if (entry.trace.empty()) return;
+  const auto result = analyzer_.analyze(entry.trace, config_.demux);
+  if (on_flow_done_) {
+    for (const auto& fa : result.flows) on_flow_done_(fa);
+  }
+}
+
+void LiveAnalyzer::reap(TimePoint now) {
+  // Finalize idle / lingering-after-FIN flows from the LRU front.
+  while (!lru_.empty()) {
+    const net::FlowKey key = lru_.front();
+    const auto it = flows_.find(key);
+    if (it == flows_.end()) {
+      lru_.pop_front();
+      continue;
+    }
+    const Entry& e = it->second;
+    const Duration idle = now - e.last_activity;
+    const bool idle_out = idle >= config_.idle_timeout;
+    const bool fin_out = e.fin_seen && idle >= config_.fin_linger;
+    if (!idle_out && !fin_out) break;  // LRU front is freshest of the stale
+    finalize(key);
+  }
+}
+
+void LiveAnalyzer::add_packet(const net::CapturedPacket& pkt) {
+  ++stats_.packets;
+  const net::FlowKey key = pkt.key.canonical();
+
+  auto [it, inserted] = flows_.try_emplace(key);
+  Entry& entry = it->second;
+  if (inserted) {
+    ++stats_.flows_started;
+    lru_.push_back(key);
+    entry.lru_it = std::prev(lru_.end());
+  } else {
+    // Move to the back of the LRU.
+    lru_.erase(entry.lru_it);
+    lru_.push_back(key);
+    entry.lru_it = std::prev(lru_.end());
+  }
+
+  entry.trace.add(pkt);
+  entry.last_activity = pkt.timestamp;
+  if (pkt.tcp.flags.fin) entry.fin_seen = true;
+
+  if (entry.trace.size() >= config_.max_packets_per_flow) {
+    // Long-lived elephant: analyze what we have and restart the window.
+    ++stats_.truncated_flows;
+    finalize(key);
+  }
+
+  reap(pkt.timestamp);
+
+  // Table-full eviction: kick the least recently active flow.
+  while (flows_.size() > config_.max_flows && !lru_.empty()) {
+    ++stats_.flows_evicted;
+    finalize(lru_.front());
+  }
+  stats_.active_flows = flows_.size();
+}
+
+void LiveAnalyzer::flush() {
+  while (!lru_.empty()) finalize(lru_.front());
+  stats_.active_flows = 0;
+}
+
+}  // namespace tapo::analysis

@@ -1,0 +1,82 @@
+// Streaming TAPO: continuous analysis of a live packet feed.
+//
+// The paper's TAPO ran offline on daily traces but was "integrated into the
+// TCP analysis platform for daily maintenance of the network" (§3.3). This
+// is that integration surface: packets are fed one at a time (e.g. from a
+// capture socket), flows are tracked in a bounded-memory table, and each
+// flow is analyzed with the full offline fidelity when it finishes (FIN
+// observed + quiescent) or idles out.
+//
+// Memory bounds: at most `max_flows` concurrent flows (least-recently-
+// active evicted first) and at most `max_packets_per_flow` buffered packets
+// per flow (flows exceeding it are analyzed and restarted, counted in
+// `truncated_flows`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "tapo/analyzer.h"
+
+namespace tapo::analysis {
+
+struct LiveConfig {
+  AnalyzerConfig analyzer;
+  DemuxOptions demux;
+  /// A flow with no packet for this long is finished and analyzed.
+  Duration idle_timeout = Duration::seconds(60.0);
+  /// A flow whose FIN (both-direction quiescence) is this old is finalized.
+  Duration fin_linger = Duration::seconds(3.0);
+  std::size_t max_flows = 100'000;
+  std::size_t max_packets_per_flow = 200'000;
+};
+
+struct LiveStats {
+  std::uint64_t packets = 0;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_finalized = 0;
+  std::uint64_t flows_evicted = 0;    // table-full evictions
+  std::uint64_t truncated_flows = 0;  // per-flow packet cap hit
+  std::size_t active_flows = 0;
+};
+
+class LiveAnalyzer {
+ public:
+  /// Called with the completed analysis whenever a flow is finalized.
+  using FlowDoneFn = std::function<void(const FlowAnalysis&)>;
+
+  explicit LiveAnalyzer(LiveConfig config, FlowDoneFn on_flow_done);
+
+  /// Feeds one packet. Packets must arrive in (roughly) capture order;
+  /// the packet's timestamp drives idle-timeout bookkeeping.
+  void add_packet(const net::CapturedPacket& pkt);
+
+  /// Finalizes every remaining flow (end of capture / shutdown).
+  void flush();
+
+  const LiveStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    net::PacketTrace trace;
+    TimePoint last_activity;
+    bool fin_seen = false;
+    std::list<net::FlowKey>::iterator lru_it;
+  };
+
+  void finalize(const net::FlowKey& key);
+  void reap(TimePoint now);
+
+  LiveConfig config_;
+  FlowDoneFn on_flow_done_;
+  Analyzer analyzer_;
+
+  std::unordered_map<net::FlowKey, Entry, net::FlowKeyHash> flows_;
+  /// LRU order: front = least recently active.
+  std::list<net::FlowKey> lru_;
+  LiveStats stats_;
+};
+
+}  // namespace tapo::analysis

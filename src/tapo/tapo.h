@@ -1,0 +1,27 @@
+// Umbrella header for the TAPO public API.
+//
+// Typical usage:
+//
+//   #include "tapo/tapo.h"
+//
+//   // Analyze a capture:
+//   auto trace = tapo::pcap::read_file("capture.pcap");
+//   tapo::analysis::Analyzer analyzer;
+//   auto result = analyzer.analyze(trace);
+//   auto causes = tapo::analysis::make_stall_breakdown(result.flows);
+//
+//   // Or simulate a workload and analyze it:
+//   tapo::workload::ExperimentConfig cfg;
+//   cfg.profile = tapo::workload::web_search_profile();
+//   auto res = tapo::workload::run_experiment(cfg);
+#pragma once
+
+#include "net/trace.h"       // IWYU pragma: export
+#include "pcap/pcap.h"       // IWYU pragma: export
+#include "tapo/analyzer.h"   // IWYU pragma: export
+#include "tapo/csv.h"        // IWYU pragma: export
+#include "tapo/flow.h"       // IWYU pragma: export
+#include "tapo/live.h"       // IWYU pragma: export
+#include "tapo/report.h"     // IWYU pragma: export
+#include "tcp/connection.h"  // IWYU pragma: export
+#include "workload/experiment.h"  // IWYU pragma: export

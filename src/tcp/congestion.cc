@@ -1,0 +1,95 @@
+#include "tcp/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tapo::tcp {
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgo algo) {
+  switch (algo) {
+    case CcAlgo::kReno: return std::make_unique<RenoCc>();
+    case CcAlgo::kCubic: return std::make_unique<CubicCc>();
+  }
+  return std::make_unique<RenoCc>();
+}
+
+std::uint32_t RenoCc::on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
+                             std::uint32_t acked, TimePoint /*now*/,
+                             Duration /*srtt*/) {
+  if (cwnd < ssthresh) {
+    // Slow start: one segment per newly acked segment, not beyond ssthresh
+    // (ABC with L=1, the conservative kernel default).
+    const std::uint32_t grow = std::min(acked, ssthresh - cwnd);
+    return cwnd + grow;
+  }
+  // Congestion avoidance: +1 per cwnd acked segments.
+  ack_credit_ += acked;
+  if (ack_credit_ >= cwnd && cwnd > 0) {
+    ack_credit_ -= cwnd;
+    return cwnd + 1;
+  }
+  return cwnd;
+}
+
+std::uint32_t RenoCc::ssthresh(std::uint32_t cwnd) {
+  return std::max<std::uint32_t>(cwnd / 2, 2);
+}
+
+void CubicCc::reset() {
+  w_max_ = 0.0;
+  in_epoch_ = false;
+  k_ = 0.0;
+  ack_credit_ = 0;
+}
+
+void CubicCc::on_loss_event(TimePoint /*now*/) { in_epoch_ = false; }
+
+std::uint32_t CubicCc::ssthresh(std::uint32_t cwnd) {
+  // beta_cubic = 0.7; remember W_max for the next epoch (fast convergence
+  // shrinks it slightly when losses come before reaching the old W_max).
+  const double c = static_cast<double>(cwnd);
+  w_max_ = (c < w_max_) ? c * (2.0 - 0.7) / 2.0 : c;
+  return std::max<std::uint32_t>(static_cast<std::uint32_t>(c * 0.7), 2);
+}
+
+std::uint32_t CubicCc::on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
+                              std::uint32_t acked, TimePoint now,
+                              Duration srtt) {
+  if (cwnd < ssthresh) {
+    const std::uint32_t grow = std::min(acked, ssthresh - cwnd);
+    return cwnd + grow;
+  }
+  constexpr double kC = 0.4;
+  if (!in_epoch_) {
+    in_epoch_ = true;
+    epoch_start_ = now;
+    if (w_max_ < static_cast<double>(cwnd)) w_max_ = static_cast<double>(cwnd);
+    k_ = std::cbrt(w_max_ * (1.0 - 0.7) / kC);
+    ack_credit_ = 0;
+  }
+  // Target window one RTT in the future, per the CUBIC function.
+  const double t = (now - epoch_start_).sec() + srtt.sec();
+  const double target = kC * std::pow(t - k_, 3.0) + w_max_;
+  std::uint32_t next = cwnd;
+  if (target > static_cast<double>(cwnd)) {
+    // Approach the target: cwnd += (target - cwnd)/cwnd per ack, realized
+    // through an ack-credit counter like the kernel's cnt/cwnd_cnt.
+    const double cnt =
+        static_cast<double>(cwnd) / (target - static_cast<double>(cwnd));
+    ack_credit_ += acked;
+    if (static_cast<double>(ack_credit_) >= std::max(cnt, 2.0)) {
+      ack_credit_ = 0;
+      next = cwnd + 1;
+    }
+  } else {
+    // TCP-friendly region / plateau: grow at most 1 segment per 100 acks.
+    ack_credit_ += acked;
+    if (ack_credit_ >= 100 * cwnd) {
+      ack_credit_ = 0;
+      next = cwnd + 1;
+    }
+  }
+  return next;
+}
+
+}  // namespace tapo::tcp

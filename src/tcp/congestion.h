@@ -1,0 +1,75 @@
+// Congestion-control algorithms: window growth in Open/Disorder and the
+// ssthresh rule applied on loss events. The sender owns cwnd/ssthresh (as
+// the Linux stack does); the algorithm computes increments and reductions.
+//
+// Reno is the reference algorithm used by most tests (its dynamics are easy
+// to assert on); CUBIC matches the kernel the paper measured (2.6.32
+// defaults to CUBIC).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tcp/types.h"
+#include "util/time.h"
+
+namespace tapo::tcp {
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// New cwnd (in segments) after `acked` segments were newly acknowledged
+  /// while in Open/Disorder. `now`/`srtt` feed time-based algorithms.
+  virtual std::uint32_t on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
+                               std::uint32_t acked, TimePoint now,
+                               Duration srtt) = 0;
+
+  /// ssthresh to adopt when a loss event begins.
+  virtual std::uint32_t ssthresh(std::uint32_t cwnd) = 0;
+
+  /// Notification that a loss episode started (epoch reset for CUBIC).
+  virtual void on_loss_event(TimePoint now) { (void)now; }
+
+  virtual void reset() {}
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgo algo);
+
+/// Classic Reno: slow start below ssthresh, +1 segment per RTT above,
+/// halving on loss.
+class RenoCc final : public CongestionControl {
+ public:
+  std::uint32_t on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
+                       std::uint32_t acked, TimePoint now,
+                       Duration srtt) override;
+  std::uint32_t ssthresh(std::uint32_t cwnd) override;
+  void reset() override { ack_credit_ = 0; }
+  std::string name() const override { return "reno"; }
+
+ private:
+  std::uint32_t ack_credit_ = 0;  // snd_cwnd_cnt analogue
+};
+
+/// CUBIC (Ha, Rhee, Xu 2008): W(t) = C (t - K)^3 + W_max, beta = 0.7.
+class CubicCc final : public CongestionControl {
+ public:
+  std::uint32_t on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
+                       std::uint32_t acked, TimePoint now,
+                       Duration srtt) override;
+  std::uint32_t ssthresh(std::uint32_t cwnd) override;
+  void on_loss_event(TimePoint now) override;
+  void reset() override;
+  std::string name() const override { return "cubic"; }
+
+ private:
+  double w_max_ = 0.0;
+  TimePoint epoch_start_;
+  bool in_epoch_ = false;
+  double k_ = 0.0;
+  std::uint32_t ack_credit_ = 0;
+};
+
+}  // namespace tapo::tcp

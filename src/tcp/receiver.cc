@@ -1,0 +1,235 @@
+#include "tcp/receiver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tapo::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, ReceiverConfig config,
+                         SendAckFn send_ack)
+    : sim_(sim),
+      config_(config),
+      send_ack_(std::move(send_ack)),
+      delack_timer_(sim, [this] { on_delack_fire(); }) {
+  buffer_cap_ = config_.init_rwnd_bytes;
+}
+
+void TcpReceiver::start(std::uint32_t rcv_nxt) {
+  rcv_nxt_ = rcv_nxt;
+  read_seq_ = rcv_nxt;
+  tune_mark_ = rcv_nxt;
+  last_drain_ = sim_.now();
+}
+
+std::uint32_t TcpReceiver::buffered_bytes() const {
+  std::uint32_t b = rcv_nxt_ - read_seq_;
+  for (const auto& blk : ooo_) b += blk.end - blk.start;
+  return b;
+}
+
+std::uint64_t TcpReceiver::ooo_bytes() const {
+  std::uint64_t b = 0;
+  for (const auto& blk : ooo_) b += blk.end - blk.start;
+  return b;
+}
+
+void TcpReceiver::drain_app_reads() {
+  const TimePoint now = sim_.now();
+  if (config_.app_read_Bps == 0) {
+    read_seq_ = rcv_nxt_;
+    last_drain_ = now;
+    return;
+  }
+  if (now < paused_until_) {
+    last_drain_ = now;
+    return;
+  }
+  const TimePoint from = std::max(last_drain_, paused_until_);
+  const double elapsed = now > from ? (now - from).sec() : 0.0;
+  last_drain_ = now;
+  const double readable = elapsed * static_cast<double>(config_.app_read_Bps) +
+                          drain_remainder_;
+  auto can_read = static_cast<std::uint64_t>(readable);
+  drain_remainder_ = readable - static_cast<double>(can_read);
+  const std::uint32_t inorder = rcv_nxt_ - read_seq_;
+  can_read = std::min<std::uint64_t>(can_read, inorder);
+  read_seq_ += static_cast<std::uint32_t>(can_read);
+  if (config_.pause_every_bytes > 0) {
+    read_since_pause_ += can_read;
+    if (read_since_pause_ >= config_.pause_every_bytes) {
+      read_since_pause_ = 0;
+      paused_until_ = now + config_.pause_duration;
+    }
+  }
+}
+
+void TcpReceiver::maybe_autotune() {
+  if (!config_.window_autotune) return;
+  // Dynamic right-sizing in the spirit of Linux DRS: once half a buffer's
+  // worth of new data has arrived since the last adjustment, the transfer
+  // is using the window — double the buffer (up to the cap) so the
+  // advertised window stays ahead of the congestion window. Slow readers
+  // still hit zero windows despite autotune, as in the wild.
+  if (rcv_nxt_ - tune_mark_ >= buffer_cap_ / 2 &&
+      buffer_cap_ < config_.max_rwnd_bytes) {
+    tune_mark_ = rcv_nxt_;
+    buffer_cap_ = std::min(buffer_cap_ * 2, config_.max_rwnd_bytes);
+  }
+}
+
+std::uint32_t TcpReceiver::current_rwnd() {
+  drain_app_reads();
+  const std::uint32_t used = buffered_bytes();
+  return used >= buffer_cap_ ? 0 : buffer_cap_ - used;
+}
+
+void TcpReceiver::add_ooo(std::uint32_t start, std::uint32_t end) {
+  // Insert and merge overlapping/adjacent ranges; keep sorted by start.
+  net::SackBlock blk{start, end};
+  ooo_.push_back(blk);
+  std::sort(ooo_.begin(), ooo_.end(),
+            [](const net::SackBlock& a, const net::SackBlock& b) {
+              return a.start < b.start;
+            });
+  std::vector<net::SackBlock> merged;
+  for (const auto& b : ooo_) {
+    if (!merged.empty() && b.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, b.end);
+    } else {
+      merged.push_back(b);
+    }
+  }
+  ooo_ = std::move(merged);
+
+  // Track reporting order: the block containing the new data goes first.
+  recent_sacks_.clear();
+  for (const auto& b : ooo_) {
+    if (start >= b.start && end <= b.end) recent_sacks_.push_back(b);
+  }
+  for (const auto& b : ooo_) {
+    if (!(start >= b.start && end <= b.end)) recent_sacks_.push_back(b);
+  }
+}
+
+bool TcpReceiver::is_duplicate(std::uint32_t start, std::uint32_t end) const {
+  if (end <= rcv_nxt_) return true;
+  for (const auto& b : ooo_) {
+    if (start >= b.start && end <= b.end) return true;
+  }
+  return false;
+}
+
+void TcpReceiver::on_data(std::uint32_t seq, std::uint32_t len) {
+  assert(len > 0);
+  const std::uint32_t end = seq + len;
+  drain_app_reads();
+
+  std::optional<net::SackBlock> dsack;
+  if (is_duplicate(seq, end)) {
+    // Spurious retransmission: report via DSACK (RFC 2883) and ack now.
+    if (config_.dsack_enabled) dsack = net::SackBlock{seq, end};
+    ++dsacks_sent_;
+    emit_ack(dsack);
+    return;
+  }
+
+  if (seq <= rcv_nxt_) {
+    // In-order (possibly partially duplicate) data.
+    const bool had_holes = !ooo_.empty();
+    rcv_nxt_ = std::max(rcv_nxt_, end);
+    // Absorb any out-of-order blocks now covered.
+    while (!ooo_.empty() && ooo_.front().start <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, ooo_.front().end);
+      ooo_.erase(ooo_.begin());
+    }
+    if (had_holes) {
+      // RFC 5681: ack immediately when a segment (partially) fills a gap,
+      // with SACK blocks for whatever holes remain.
+      recent_sacks_.assign(ooo_.begin(), ooo_.end());
+      maybe_autotune();
+      emit_ack(std::nullopt);
+      return;
+    }
+    if (!recent_sacks_.empty()) recent_sacks_.clear();
+    ++unacked_segments_;
+    if (unacked_segments_ >= config_.ack_every) {
+      emit_ack(std::nullopt);
+    } else {
+      arm_delack();
+    }
+    maybe_autotune();
+    return;
+  }
+
+  // Out-of-order data: SACK it and ack immediately (dupack).
+  add_ooo(seq, end);
+  maybe_autotune();
+  emit_ack(std::nullopt);
+}
+
+void TcpReceiver::on_fin(std::uint32_t seq) {
+  drain_app_reads();
+  if (seq == rcv_nxt_ && ooo_.empty()) {
+    rcv_nxt_ = seq + 1;
+    fin_seen_ = true;
+  }
+  emit_ack(std::nullopt);
+}
+
+void TcpReceiver::emit_ack(std::optional<net::SackBlock> dsack) {
+  delack_timer_.cancel();
+  unacked_segments_ = 0;
+
+  AckSpec spec;
+  spec.ack = rcv_nxt_;
+  spec.rwnd_bytes = current_rwnd();
+  // Receiver-side SWS avoidance (RFC 1122 4.2.3.3): advertise zero rather
+  // than a sliver smaller than min(MSS, cap/2). This is what turns a slow
+  // reader into the zero-window episodes of Table 3/4.
+  if (spec.rwnd_bytes <
+      std::min<std::uint32_t>(config_.mss, buffer_cap_ / 2)) {
+    spec.rwnd_bytes = 0;
+  }
+  if (config_.sack_enabled) {
+    if (dsack) spec.sack_blocks.push_back(*dsack);
+    for (const auto& b : recent_sacks_) {
+      if (spec.sack_blocks.size() >= 4) break;
+      spec.sack_blocks.push_back(b);
+    }
+  }
+  if (spec.rwnd_bytes == 0) {
+    ++zero_window_acks_;
+    advertised_zero_ = true;
+    schedule_window_update_check();
+  } else {
+    advertised_zero_ = false;
+  }
+  send_ack_(spec);
+}
+
+void TcpReceiver::arm_delack() {
+  if (!delack_timer_.armed()) delack_timer_.arm(config_.delack_timeout);
+}
+
+void TcpReceiver::on_delack_fire() { emit_ack(std::nullopt); }
+
+void TcpReceiver::schedule_window_update_check() {
+  if (window_update_pending_ || config_.app_read_Bps == 0) return;
+  window_update_pending_ = true;
+  // Re-check once the reader has had time to free at least one MSS; keep
+  // polling while the window stays shut (reader pauses can hold it shut
+  // for a long time).
+  const double secs = static_cast<double>(config_.mss) /
+                      static_cast<double>(config_.app_read_Bps);
+  sim_.schedule(Duration::seconds(std::max(secs, 0.001)), [this] {
+    window_update_pending_ = false;
+    if (!advertised_zero_) return;
+    if (current_rwnd() >= config_.mss) {
+      emit_ack(std::nullopt);  // window update
+    } else {
+      schedule_window_update_check();
+    }
+  });
+}
+
+}  // namespace tapo::tcp

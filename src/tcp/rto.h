@@ -1,0 +1,47 @@
+// RFC 6298 retransmission timer estimator, with the Linux deviations the
+// paper's dataset ran under: a 200 ms RTO floor, 120 s ceiling, and a 3 s
+// initial RTO before the first RTT sample (kernel 2.6.32's TCP_TIMEOUT_INIT).
+// Exponential backoff is applied on consecutive timeouts and cleared by a
+// new RTT sample.
+#pragma once
+
+#include "util/time.h"
+
+namespace tapo::tcp {
+
+struct RtoConfig {
+  Duration initial_rto = Duration::seconds(3.0);
+  Duration min_rto = Duration::millis(200);
+  Duration max_rto = Duration::seconds(120.0);
+};
+
+class RtoEstimator {
+ public:
+  explicit RtoEstimator(RtoConfig config = {}) : config_(config) {}
+
+  /// Feeds one RTT measurement (Karn's rule: callers must not sample
+  /// retransmitted segments). Clears any timeout backoff.
+  void sample(Duration rtt);
+
+  /// Current RTO including backoff, clamped to [min_rto, max_rto].
+  Duration rto() const;
+
+  /// Smoothed RTT; zero before the first sample.
+  Duration srtt() const { return srtt_; }
+  Duration rttvar() const { return rttvar_; }
+  bool has_sample() const { return has_sample_; }
+
+  /// Doubles the backoff multiplier (call on RTO expiry).
+  void backoff();
+  int backoff_exponent() const { return backoff_; }
+
+ private:
+  RtoConfig config_;
+  Duration srtt_ = Duration::zero();
+  Duration rttvar_ = Duration::zero();
+  Duration base_rto_;
+  bool has_sample_ = false;
+  int backoff_ = 0;
+};
+
+}  // namespace tapo::tcp

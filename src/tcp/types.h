@@ -1,0 +1,37 @@
+// Shared TCP model types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tapo::tcp {
+
+/// Linux congestion-avoidance machine states (paper §3.1, Fig. 4).
+enum class CaState : std::uint8_t { kOpen, kDisorder, kRecovery, kLoss };
+
+inline const char* to_string(CaState s) {
+  switch (s) {
+    case CaState::kOpen: return "Open";
+    case CaState::kDisorder: return "Disorder";
+    case CaState::kRecovery: return "Recovery";
+    case CaState::kLoss: return "Loss";
+  }
+  return "?";
+}
+
+/// Loss-recovery add-on active at the sender (paper §5: Native Linux vs
+/// TLP vs S-RTO, switched per experiment like the sysctl in the paper).
+enum class RecoveryMechanism : std::uint8_t { kNative, kTlp, kSrto };
+
+inline const char* to_string(RecoveryMechanism m) {
+  switch (m) {
+    case RecoveryMechanism::kNative: return "Linux";
+    case RecoveryMechanism::kTlp: return "TLP";
+    case RecoveryMechanism::kSrto: return "S-RTO";
+  }
+  return "?";
+}
+
+enum class CcAlgo : std::uint8_t { kReno, kCubic };
+
+}  // namespace tapo::tcp

@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tapo {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel set_log_level(LogLevel level) { return g_level.exchange(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace internal {
+
+void emit_log(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace tapo

@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Experiments must be exactly reproducible across runs and across recovery
+// mechanisms (Table 8 compares Native/TLP/S-RTO on the *same* workload), so
+// every random decision in the library flows through an explicitly seeded
+// Rng. The generator is xoshiro256** seeded via splitmix64 — fast,
+// high-quality, and stable across platforms (unlike std::mt19937 +
+// std::distributions whose output is implementation-defined for some
+// distributions).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace tapo {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no state caching; stable output).
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha.
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// Split off an independent stream (for per-flow generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tapo

@@ -1,0 +1,53 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tapo {
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::string human_bytes(double bytes) {
+  if (bytes >= 1e9) return str_format("%.1fGB", bytes / 1e9);
+  if (bytes >= 1e6) return str_format("%.1fMB", bytes / 1e6);
+  if (bytes >= 1e3) return str_format("%.0fKB", bytes / 1e3);
+  return str_format("%.0fB", bytes);
+}
+
+std::string human_us(double us) {
+  if (us >= 1e6) return str_format("%.1fs", us / 1e6);
+  if (us >= 1e3) return str_format("%.0fms", us / 1e3);
+  return str_format("%.0fus", us);
+}
+
+std::string pct(double fraction) { return str_format("%.1f%%", fraction * 100.0); }
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace tapo

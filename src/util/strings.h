@@ -1,0 +1,24 @@
+// Small string/formatting helpers shared by reports and bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tapo {
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.7MB", "129KB", "14KB" — human-readable byte counts as in Table 1.
+std::string human_bytes(double bytes);
+
+/// "1.2s", "143ms" — human-readable durations.
+std::string human_us(double us);
+
+/// Percentage with one decimal, e.g. "45.4%".
+std::string pct(double fraction);
+
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace tapo

@@ -1,0 +1,88 @@
+// Strong time types used throughout the library.
+//
+// All simulation and trace timestamps are expressed in microseconds since an
+// arbitrary epoch (the start of a simulation run, or the pcap epoch when
+// analyzing real captures). Using an integral microsecond representation
+// matches the precision of classic libpcap captures and avoids the
+// floating-point drift that plagues long simulations.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace tapo {
+
+/// A span of time in microseconds. Value type; cheap to copy.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration micros(std::int64_t us) { return Duration(us); }
+  constexpr static Duration millis(std::int64_t ms) { return Duration(ms * 1000); }
+  constexpr static Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1'000'000.0));
+  }
+  constexpr static Duration zero() { return Duration(0); }
+  constexpr static Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1000.0; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1'000'000.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(us_ * k); }
+  constexpr Duration operator*(int k) const { return Duration(us_ * k); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(us_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant on the simulation / capture timeline.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr static TimePoint from_us(std::int64_t us) { return TimePoint(us); }
+  constexpr static TimePoint epoch() { return TimePoint(0); }
+  constexpr static TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1'000'000.0; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(us_ + d.us()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(us_ - d.us()); }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::micros(us_ - o.us_);
+  }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+inline std::string to_string(Duration d) {
+  if (d.us() >= 1'000'000) return std::to_string(d.sec()) + "s";
+  if (d.us() >= 1'000) return std::to_string(d.ms()) + "ms";
+  return std::to_string(d.us()) + "us";
+}
+
+}  // namespace tapo

@@ -1,0 +1,59 @@
+#include "workload/experiment.h"
+
+#include "sim/simulator.h"
+
+namespace tapo::workload {
+
+FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
+                     Duration max_flow_time, net::PacketTrace* trace) {
+  sim::Simulator sim;
+  sim::Link down(sim, scenario.down_link, link_rng.split());
+  sim::Link up(sim, scenario.up_link, link_rng.split());
+  tcp::Connection conn(sim, down, up, scenario.connection, trace);
+  conn.start();
+  sim.run_until(sim.now() + max_flow_time);
+
+  FlowOutcome out;
+  out.metrics = conn.metrics();
+  out.sender_stats = conn.sender().stats();
+  out.init_rwnd_bytes = conn.init_rwnd_bytes();
+  for (const auto& r : scenario.connection.requests) {
+    out.response_bytes += r.response_bytes;
+  }
+  out.completed = conn.metrics().completed;
+  return out;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.outcomes.reserve(config.flows);
+
+  Rng master(config.seed);
+  analysis::Analyzer analyzer(config.analyzer);
+
+  for (std::size_t i = 0; i < config.flows; ++i) {
+    Rng flow_rng = master.split();
+    FlowScenario scenario = draw_scenario(config.profile, flow_rng, i + 1);
+    if (config.recovery) scenario.connection.sender.recovery = *config.recovery;
+    if (config.srto) scenario.connection.sender.srto = *config.srto;
+
+    net::PacketTrace trace;
+    FlowOutcome outcome =
+        run_flow(scenario, flow_rng.split(), config.max_flow_time,
+                 config.analyze ? &trace : nullptr);
+    result.total_packets += trace.size();
+    result.data_segments_sent += outcome.sender_stats.segments_sent;
+    result.retransmissions += outcome.sender_stats.retransmissions;
+
+    if (config.analyze && !trace.empty()) {
+      auto analyses = analyzer.analyze(trace);
+      for (auto& fa : analyses.flows) {
+        result.analyses.push_back(std::move(fa));
+      }
+    }
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace tapo::workload

@@ -1,0 +1,66 @@
+// Experiment harness: generate -> simulate -> capture -> analyze.
+//
+// Each flow runs in its own fresh simulator (flows are independent in the
+// paper's per-connection analysis), so experiments are deterministic given
+// a seed and embarrassingly simple to reason about. The same seed with a
+// different recovery mechanism replays the *same* workload — the paper's
+// production A/B methodology for Table 8/9 (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "tapo/analyzer.h"
+#include "tcp/connection.h"
+#include "workload/profiles.h"
+
+namespace tapo::workload {
+
+struct ExperimentConfig {
+  ServiceProfile profile;
+  std::size_t flows = 300;
+  std::uint64_t seed = 1;
+  /// Overrides the profile sender's recovery mechanism (Table 8/9 A/B).
+  std::optional<tcp::RecoveryMechanism> recovery;
+  std::optional<tcp::SrtoConfig> srto;
+  /// Hard per-flow wall-clock cap in simulated time.
+  Duration max_flow_time = Duration::seconds(600.0);
+  bool analyze = true;
+  analysis::AnalyzerConfig analyzer;
+};
+
+struct FlowOutcome {
+  tcp::ConnectionMetrics metrics;
+  tcp::SenderStats sender_stats;
+  std::uint32_t init_rwnd_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  bool completed = false;
+};
+
+struct ExperimentResult {
+  std::vector<FlowOutcome> outcomes;
+  /// One entry per flow when config.analyze is set.
+  std::vector<analysis::FlowAnalysis> analyses;
+  std::uint64_t total_packets = 0;  // captured at the server NIC
+
+  std::uint64_t data_segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  /// Table 9: retransmitted / sent data segments.
+  double retrans_ratio() const {
+    return data_segments_sent
+               ? static_cast<double>(retransmissions) /
+                     static_cast<double>(data_segments_sent)
+               : 0.0;
+  }
+};
+
+/// Runs one flow scenario to completion (or the time cap) in a private
+/// simulator; appends captured packets to `trace` when non-null.
+FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
+                     Duration max_flow_time, net::PacketTrace* trace);
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace tapo::workload

@@ -1,0 +1,153 @@
+// Service workload profiles calibrated against the paper's dataset (§2,
+// Table 1): cloud storage (large shared-connection transfers), software
+// download (dedicated mid-size transfers, old clients with tiny fixed
+// receive buffers), and web search (short, latency-sensitive flows with
+// back-end-generated content).
+//
+// Each profile is a generative model: per-flow path characteristics (RTT,
+// loss, jitter), connection structure (requests per connection, response
+// sizes), client behaviour (initial rwnd mixture, reader speed, idle gaps)
+// and server behaviour (back-end fetch delays, app chunking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcp/connection.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace tapo::workload {
+
+enum class Service { kCloudStorage, kSoftwareDownload, kWebSearch };
+const char* to_string(Service s);
+
+/// One entry of the client receive-window mixture (Fig. 6): a class of
+/// client software with a given initial window / buffer behaviour.
+struct RwndClass {
+  double weight = 1.0;
+  std::uint32_t init_rwnd_bytes = 64 * 1024;
+  bool autotune = true;
+  std::uint32_t max_rwnd_bytes = 1024 * 1024;
+  /// 0 = reads instantly; otherwise a (slow) reader draining at this rate.
+  std::uint64_t app_read_Bps = 0;
+  /// Reader pause model (see ReceiverConfig): 0 disables.
+  std::uint64_t pause_every_bytes = 0;
+  Duration pause_duration = Duration::millis(500);
+};
+
+struct PathProfile {
+  /// Per-flow base RTT ~ LogNormal(mu, sigma) clamped to [min,max], in ms.
+  double rtt_lognorm_mu = 0.0;
+  double rtt_lognorm_sigma = 0.4;
+  double rtt_min_ms = 5.0;
+  double rtt_max_ms = 4000.0;
+  /// Per-packet extra delay ~ Exp(jitter_frac * base_rtt).
+  double jitter_frac = 0.07;
+  /// Heavier jitter episodes: fraction of flows with jitter_frac_heavy.
+  double heavy_jitter_prob = 0.18;
+  double jitter_frac_heavy = 0.35;
+  /// Correlated delay bursts: fraction of flows subject to them, the
+  /// per-packet trigger, episode duration, and the extra delay as a
+  /// multiple of the base RTT.
+  double delay_burst_flow_prob = 0.6;
+  double delay_burst_prob = 0.02;
+  Duration delay_burst_duration = Duration::millis(400);
+  double delay_burst_extra_rtt = 1.15;
+  /// Per-packet probability of genuine reordering (overtaking).
+  double reorder_prob = 0.002;
+  double reorder_delay_frac = 0.25;  // of the base RTT
+  /// Per-flow random loss: with probability clean_prob the flow is nearly
+  /// clean (loss ~ U[0, clean_loss_max]); otherwise loss ~ Exp(mean) capped
+  /// at cap. Real-world loss is heavily skewed: most flows see none, a
+  /// minority sees a lot. The ACK path gets ack_loss_frac of the data loss.
+  double clean_prob = 0.55;
+  double clean_loss_max = 0.003;
+  double loss_mean = 0.05;
+  double loss_cap = 0.20;
+  double ack_loss_frac = 0.35;
+  /// Fraction of flows with additional time-based burst loss (outages).
+  double burst_prob = 0.30;
+  double burst_p_good_to_bad = 0.01;   // per-packet outage trigger
+  Duration burst_duration = Duration::millis(160);
+  double burst_bad_loss = 0.8;
+  /// Among bursty flows, this fraction sees *deep* outages (middlebox
+  /// buffer exhaustion, §4.3): long enough to swallow whole windows and
+  /// drive continuous-loss stalls.
+  double deep_burst_frac = 0.25;
+  Duration deep_burst_duration = Duration::millis(420);
+  double deep_bad_loss = 0.95;
+  /// Bottleneck (0 = uncongested): a fraction of flows traverses a
+  /// bandwidth-limited hop with a deep drop-tail queue. The queueing delay
+  /// swings RTT samples by hundreds of ms (2014-era bufferbloat), which is
+  /// what pushes the RTO an order of magnitude above the RTT (Fig. 1b).
+  std::uint64_t bandwidth_Bps = 0;
+  std::size_t queue_packets = 64;
+  double bottleneck_prob = 0.30;
+  double bottleneck_lognorm_mu = 13.1;     // ~ 490 KB/s median
+  double bottleneck_lognorm_sigma = 0.7;
+  std::uint64_t bottleneck_min_Bps = 120'000;
+  std::size_t bottleneck_queue_min = 40;
+  std::size_t bottleneck_queue_max = 120;
+};
+
+struct ServiceProfile {
+  std::string name;
+  Service service = Service::kWebSearch;
+
+  // Connection structure.
+  int min_requests = 1;
+  int max_requests = 1;
+  /// Response size ~ LogNormal(mu, sigma) clamped to [min,max] bytes.
+  double resp_lognorm_mu = 9.0;
+  double resp_lognorm_sigma = 1.0;
+  std::uint64_t resp_min_bytes = 200;
+  std::uint64_t resp_max_bytes = 64ull * 1024 * 1024;
+  std::uint32_t request_bytes = 300;
+
+  // Client behaviour.
+  std::vector<RwndClass> rwnd_mix;
+  /// Fraction of clients with an extreme (RFC-1122-scale, ~450 ms) delayed
+  /// ACK — the paper's §4.3 ACK-delay population.
+  double slow_delack_prob = 0.02;
+  /// Idle gap before follow-up requests (shared connections).
+  double client_idle_prob = 0.0;
+  Duration client_idle_mean = Duration::millis(800);
+  /// Idle gap before the *first* request (client thinks after connecting).
+  double first_gap_prob = 0.0;
+  Duration first_gap_mean = Duration::millis(1000);
+
+  // Server behaviour.
+  /// Probability the content requires a back-end fetch (data unavailable).
+  double backend_miss_prob = 0.0;
+  Duration backend_delay_mean = Duration::millis(300);
+  /// Probability the server app feeds the socket in paced chunks
+  /// (resource constraint).
+  double chunked_prob = 0.0;
+  std::uint64_t chunk_bytes = 32 * 1024;
+  Duration chunk_interval_mean = Duration::millis(250);
+
+  PathProfile path;
+  tcp::SenderConfig sender;
+};
+
+/// Canned profiles matching the paper's three services.
+ServiceProfile cloud_storage_profile();
+ServiceProfile software_download_profile();
+ServiceProfile web_search_profile();
+ServiceProfile profile_for(Service s);
+
+/// Materialized per-flow scenario drawn from a profile.
+struct FlowScenario {
+  tcp::ConnectionConfig connection;
+  sim::LinkConfig down_link;  // server -> client
+  sim::LinkConfig up_link;    // client -> server
+};
+
+/// Draws one flow scenario. `flow_id` feeds the connection 4-tuple so each
+/// flow in a trace has a unique key.
+FlowScenario draw_scenario(const ServiceProfile& profile, Rng& rng,
+                           std::uint64_t flow_id);
+
+}  // namespace tapo::workload

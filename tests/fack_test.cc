@@ -1,0 +1,89 @@
+// Tests for FACK-style loss detection (Mathis & Mahdavi, the paper's [13]).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "tcp/scoreboard.h"
+#include "tcp/sender.h"
+
+namespace tapo::tcp {
+namespace {
+
+constexpr std::uint32_t kMss = 1000;
+
+Scoreboard make_board(int segments) {
+  Scoreboard b;
+  for (int i = 0; i < segments; ++i) {
+    const auto s = static_cast<std::uint32_t>(1 + i * kMss);
+    b.on_transmit(s, s + kMss, TimePoint::epoch());
+  }
+  return b;
+}
+
+TEST(Fack, HighestSacked) {
+  auto b = make_board(5);
+  EXPECT_EQ(b.highest_sacked(), b.snd_una());
+  b.apply_sack({{1 + 2 * kMss, 1 + 3 * kMss}}, 1);
+  EXPECT_EQ(b.highest_sacked(), 1 + 3 * kMss);
+  b.apply_sack({{1 + 4 * kMss, 1 + 5 * kMss}}, 1);
+  EXPECT_EQ(b.highest_sacked(), 1 + 5 * kMss);
+}
+
+TEST(Fack, MarksMultipleHolesAtOnce) {
+  // Segments 0..4 unSACKed, only segment 5 SACKed. RFC 6675 (1 SACKed
+  // above < dupthres 3) marks nothing; FACK (fack - end >= 3*mss) marks
+  // segments 0, 1 and 2.
+  auto b = make_board(6);
+  b.apply_sack({{1 + 5 * kMss, 1 + 6 * kMss}}, 1);
+  auto rfc = make_board(6);
+  rfc.apply_sack({{1 + 5 * kMss, 1 + 6 * kMss}}, 1);
+
+  EXPECT_EQ(rfc.mark_lost_by_sack(3), 0u);
+  EXPECT_EQ(b.mark_lost_by_fack(3, kMss), 3u);
+  EXPECT_TRUE(b.find(1)->lost);
+  EXPECT_TRUE(b.find(1 + 2 * kMss)->lost);  // exactly 3*mss below fack
+  EXPECT_FALSE(b.find(1 + 3 * kMss)->lost);  // within the margin
+  EXPECT_FALSE(b.find(1 + 5 * kMss)->lost);  // the SACKed segment itself
+}
+
+TEST(Fack, NothingMarkedWithoutSacks) {
+  auto b = make_board(6);
+  EXPECT_EQ(b.mark_lost_by_fack(3, kMss), 0u);
+}
+
+TEST(Fack, Idempotent) {
+  auto b = make_board(6);
+  b.apply_sack({{1 + 5 * kMss, 1 + 6 * kMss}}, 1);
+  EXPECT_EQ(b.mark_lost_by_fack(3, kMss), 3u);
+  EXPECT_EQ(b.mark_lost_by_fack(3, kMss), 0u);
+}
+
+TEST(Fack, SenderRecoversMultiLossFaster) {
+  // Two widely separated losses in one window: a FACK sender enters
+  // recovery on the very first SACK that lands far ahead.
+  auto run = [](bool fack) {
+    SenderConfig cfg;
+    cfg.mss = kMss;
+    cfg.init_cwnd = 10;
+    cfg.cc = CcAlgo::kReno;
+    cfg.fack = fack;
+    sim::Simulator sim;
+    std::vector<TcpSender::SegmentOut> sent;
+    TcpSender snd(sim, cfg,
+                  [&](const TcpSender::SegmentOut& s) { sent.push_back(s); });
+    snd.start(1);
+    for (int i = 0; i < 20; ++i) snd.seed_rtt(Duration::millis(100));
+    snd.app_write(10 * kMss);
+    sim.run_until(sim.now() + Duration::millis(10));
+    // Segments 0..3 lost; the client SACKs segment 8 first (big jump).
+    snd.on_ack(1, 1 << 20, {{1 + 8 * kMss, 1 + 9 * kMss}}, std::nullopt);
+    return snd.state();
+  };
+  EXPECT_EQ(run(true), CaState::kRecovery);   // FACK: 8*mss gap => lost
+  EXPECT_NE(run(false), CaState::kRecovery);  // RFC 6675: one dupack only
+}
+
+}  // namespace
+}  // namespace tapo::tcp

@@ -1,0 +1,142 @@
+// Tests for the streaming (live) analyzer: equivalence with offline
+// analysis, idle/FIN finalization, LRU eviction, and truncation bounds.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tapo/live.h"
+#include "workload/experiment.h"
+
+namespace tapo::analysis {
+namespace {
+
+/// Builds an interleaved multi-flow trace from simulated service flows,
+/// staggering flow start times by `stagger` (each flow's private simulator
+/// starts at t = 0).
+net::PacketTrace sample_trace(std::size_t flows, std::uint64_t seed = 21,
+                              Duration stagger = Duration::zero()) {
+  net::PacketTrace all;
+  auto profile = workload::web_search_profile();
+  Rng master(seed);
+  for (std::size_t i = 0; i < flows; ++i) {
+    Rng flow_rng = master.split();
+    const auto sc = workload::draw_scenario(profile, flow_rng, i + 1);
+    net::PacketTrace one;
+    workload::run_flow(sc, flow_rng.split(), Duration::seconds(600.0), &one);
+    for (auto pkt : one.packets()) {
+      pkt.timestamp =
+          pkt.timestamp + stagger * static_cast<std::int64_t>(i);
+      all.add(std::move(pkt));
+    }
+  }
+  all.sort_by_time();
+  return all;
+}
+
+TEST(Live, MatchesOfflineAnalysis) {
+  const auto trace = sample_trace(12);
+  // Offline reference.
+  Analyzer offline;
+  const auto ref = offline.analyze(trace);
+  std::map<std::string, std::size_t> ref_stalls;
+  for (const auto& fa : ref.flows) {
+    ref_stalls[fa.key.to_string()] = fa.stalls.size();
+  }
+
+  // Live run over the same packets.
+  std::map<std::string, std::size_t> live_stalls;
+  LiveAnalyzer live({}, [&](const FlowAnalysis& fa) {
+    live_stalls[fa.key.to_string()] = fa.stalls.size();
+  });
+  for (const auto& pkt : trace.packets()) live.add_packet(pkt);
+  live.flush();
+
+  EXPECT_EQ(live.stats().packets, trace.size());
+  EXPECT_EQ(live_stalls, ref_stalls);
+  EXPECT_EQ(live.stats().flows_finalized, ref.flows.size());
+}
+
+TEST(Live, FinLingerFinalizesPromptly) {
+  const auto trace = sample_trace(3, 21, Duration::seconds(30.0));
+  std::size_t done = 0;
+  LiveConfig cfg;
+  cfg.fin_linger = Duration::seconds(1.0);
+  LiveAnalyzer live(cfg, [&](const FlowAnalysis&) { ++done; });
+  for (const auto& pkt : trace.packets()) live.add_packet(pkt);
+  // The trace interleaves flows spanning seconds; earlier FIN'd flows are
+  // finalized before the feed ends.
+  EXPECT_GE(done, 1u);
+  live.flush();
+  EXPECT_EQ(done, 3u);
+}
+
+TEST(Live, IdleTimeoutWithoutFin) {
+  LiveConfig cfg;
+  cfg.idle_timeout = Duration::seconds(5.0);
+  std::size_t done = 0;
+  LiveAnalyzer live(cfg, [&](const FlowAnalysis&) { ++done; });
+
+  auto pkt_at = [](std::int64_t us, std::uint16_t sport) {
+    net::CapturedPacket p;
+    p.timestamp = TimePoint::from_us(us);
+    p.key = {1, 2, sport, 80};
+    p.payload_len = 100;
+    p.tcp.flags.ack = true;
+    return p;
+  };
+  live.add_packet(pkt_at(0, 1000));
+  live.add_packet(pkt_at(100, 1000));
+  // A second flow starts much later: the first idles out.
+  live.add_packet(pkt_at(10'000'000, 2000));
+  EXPECT_EQ(done, 1u);
+  EXPECT_EQ(live.stats().active_flows, 1u);
+}
+
+TEST(Live, LruEvictionBoundsTable) {
+  LiveConfig cfg;
+  cfg.max_flows = 4;
+  std::size_t done = 0;
+  LiveAnalyzer live(cfg, [&](const FlowAnalysis&) { ++done; });
+  for (std::uint16_t port = 1; port <= 10; ++port) {
+    net::CapturedPacket p;
+    p.timestamp = TimePoint::from_us(port * 1000);
+    p.key = {1, 2, port, 80};
+    p.payload_len = 10;
+    p.tcp.flags.ack = true;
+    live.add_packet(p);
+  }
+  EXPECT_LE(live.stats().active_flows, 4u);
+  EXPECT_EQ(live.stats().flows_evicted, 6u);
+  EXPECT_EQ(done, 6u);
+  live.flush();
+  EXPECT_EQ(done, 10u);
+}
+
+TEST(Live, ElephantFlowTruncated) {
+  LiveConfig cfg;
+  cfg.max_packets_per_flow = 50;
+  std::size_t done = 0;
+  LiveAnalyzer live(cfg, [&](const FlowAnalysis&) { ++done; });
+  for (int i = 0; i < 120; ++i) {
+    net::CapturedPacket p;
+    p.timestamp = TimePoint::from_us(i * 100);
+    p.key = {1, 2, 1000, 80};
+    p.tcp.seq = static_cast<std::uint32_t>(1 + i * 100);
+    p.payload_len = 100;
+    p.tcp.flags.ack = true;
+    live.add_packet(p);
+  }
+  EXPECT_EQ(live.stats().truncated_flows, 2u);  // at 50 and 100 packets
+  EXPECT_EQ(done, 2u);
+  live.flush();
+  EXPECT_EQ(done, 3u);
+}
+
+TEST(Live, FlushOnEmptyIsSafe) {
+  LiveAnalyzer live({}, nullptr);
+  EXPECT_NO_THROW(live.flush());
+  EXPECT_EQ(live.stats().flows_finalized, 0u);
+}
+
+}  // namespace
+}  // namespace tapo::analysis

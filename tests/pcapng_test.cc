@@ -1,0 +1,181 @@
+// Tests for the pcapng reader (format auto-detection, SHB/IDB/EPB parsing,
+// per-interface timestamp resolution).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "net/ipv4.h"
+#include "pcap/pcap.h"
+
+namespace tapo::pcap {
+namespace {
+
+void le16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+void le32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void block(std::string& out, std::uint32_t type, const std::string& body) {
+  const std::uint32_t total = 12 + static_cast<std::uint32_t>(body.size());
+  le32(out, type);
+  le32(out, total);
+  out += body;
+  le32(out, total);
+}
+
+std::string shb() {
+  std::string b;
+  le32(b, 0x1A2B3C4D);  // byte-order magic
+  le16(b, 1);           // major
+  le16(b, 0);           // minor
+  le32(b, 0xffffffff);  // section length (unknown), low
+  le32(b, 0xffffffff);  // high
+  return b;
+}
+
+std::string idb(std::uint16_t linktype, int tsresol_pow10 = -1) {
+  std::string b;
+  le16(b, linktype);
+  le16(b, 0);           // reserved
+  le32(b, 65535);       // snaplen
+  if (tsresol_pow10 >= 0) {
+    le16(b, 9);  // if_tsresol
+    le16(b, 1);
+    b.push_back(static_cast<char>(tsresol_pow10));
+    b.append(3, '\0');  // padding
+  }
+  le16(b, 0);  // opt_endofopt
+  le16(b, 0);
+  return b;
+}
+
+/// Raw IPv4/TCP frame bytes via the classic writer.
+std::string ip_frame(std::uint32_t seq, std::uint32_t payload) {
+  net::PacketTrace t;
+  net::CapturedPacket p;
+  p.key = {net::ipv4_from_string("10.0.0.1"),
+           net::ipv4_from_string("192.168.1.1"), 40001, 80};
+  p.tcp.seq = seq;
+  p.tcp.flags.ack = true;
+  p.payload_len = payload;
+  t.add(p);
+  std::stringstream ss;
+  write_stream(ss, t);
+  return ss.str().substr(24 + 16);  // strip global + record header
+}
+
+std::string epb(std::uint32_t if_id, std::uint64_t ts_units,
+                const std::string& frame) {
+  std::string b;
+  le32(b, if_id);
+  le32(b, static_cast<std::uint32_t>(ts_units >> 32));
+  le32(b, static_cast<std::uint32_t>(ts_units & 0xffffffff));
+  le32(b, static_cast<std::uint32_t>(frame.size()));  // caplen
+  le32(b, static_cast<std::uint32_t>(frame.size()));  // origlen
+  b += frame;
+  while (b.size() % 4) b.push_back('\0');
+  return b;
+}
+
+TEST(Pcapng, MinimalFileParses) {
+  std::string file;
+  block(file, 0x0A0D0D0A, shb());
+  block(file, 0x00000001, idb(/*LINKTYPE_RAW=*/101));
+  block(file, 0x00000006, epb(0, 1'500'000, ip_frame(777, 100)));
+  block(file, 0x00000006, epb(0, 2'250'000, ip_frame(877, 50)));
+
+  std::stringstream ss(file);
+  ReadStats st;
+  const auto trace = read_stream(ss, &st);
+  EXPECT_EQ(st.records, 2u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].tcp.seq, 777u);
+  EXPECT_EQ(trace[0].timestamp.us(), 1'500'000);  // default 1e-6 resolution
+  EXPECT_EQ(trace[1].payload_len, 50u);
+  EXPECT_EQ(trace[1].timestamp.us(), 2'250'000);
+}
+
+TEST(Pcapng, NanosecondResolutionConverted) {
+  std::string file;
+  block(file, 0x0A0D0D0A, shb());
+  block(file, 0x00000001, idb(101, /*tsresol=*/9));  // 1e-9 units
+  block(file, 0x00000006, epb(0, 3'000'000'000ull, ip_frame(1, 10)));
+  std::stringstream ss(file);
+  const auto trace = read_stream(ss);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].timestamp.us(), 3'000'000);  // 3e9 ns = 3 s
+}
+
+TEST(Pcapng, EthernetFramesUnwrapped) {
+  std::string frame = ip_frame(42, 25);
+  std::string eth;
+  eth.append(12, '\0');
+  eth.push_back(0x08);
+  eth.push_back(0x00);
+  eth += frame;
+  std::string file;
+  block(file, 0x0A0D0D0A, shb());
+  block(file, 0x00000001, idb(/*LINKTYPE_ETHERNET=*/1));
+  block(file, 0x00000006, epb(0, 10, eth));
+  std::stringstream ss(file);
+  const auto trace = read_stream(ss);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].tcp.seq, 42u);
+  EXPECT_EQ(trace[0].payload_len, 25u);
+}
+
+TEST(Pcapng, UnknownBlocksSkipped) {
+  std::string file;
+  block(file, 0x0A0D0D0A, shb());
+  block(file, 0x00000001, idb(101));
+  block(file, 0x00000bad, std::string(16, '\x55'));  // custom block
+  block(file, 0x00000006, epb(0, 10, ip_frame(5, 5)));
+  std::stringstream ss(file);
+  const auto trace = read_stream(ss);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(Pcapng, MultipleInterfacesUseOwnLinktype) {
+  std::string eth = ip_frame(9, 9);
+  std::string wrapped;
+  wrapped.append(12, '\0');
+  wrapped.push_back(0x08);
+  wrapped.push_back(0x00);
+  wrapped += eth;
+  std::string file;
+  block(file, 0x0A0D0D0A, shb());
+  block(file, 0x00000001, idb(101));  // if 0: raw
+  block(file, 0x00000001, idb(1));    // if 1: ethernet
+  block(file, 0x00000006, epb(0, 10, ip_frame(8, 8)));
+  block(file, 0x00000006, epb(1, 20, wrapped));
+  std::stringstream ss(file);
+  const auto trace = read_stream(ss);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].tcp.seq, 8u);
+  EXPECT_EQ(trace[1].tcp.seq, 9u);
+}
+
+TEST(Pcapng, TruncatedFileKeepsPrefix) {
+  std::string file;
+  block(file, 0x0A0D0D0A, shb());
+  block(file, 0x00000001, idb(101));
+  block(file, 0x00000006, epb(0, 10, ip_frame(1, 1)));
+  block(file, 0x00000006, epb(0, 20, ip_frame(2, 2)));
+  file.resize(file.size() - 10);
+  std::stringstream ss(file);
+  const auto trace = read_stream(ss);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(Pcapng, GarbageAfterMagicThrows) {
+  std::string file = "\x0a\x0d\x0d\x0a";  // SHB type, then nothing
+  std::stringstream ss(file);
+  EXPECT_THROW(read_stream(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tapo::pcap

@@ -1,0 +1,208 @@
+// Parameterized property sweeps: invariants that must hold across loss
+// rates, RTTs, window configurations, and recovery mechanisms.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "net/ipv4.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "tapo/report.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace tapo {
+namespace {
+
+using tcp::RecoveryMechanism;
+
+struct RunResult {
+  bool completed = false;
+  net::PacketTrace trace;
+  tcp::SenderStats stats;
+  tcp::ConnectionMetrics metrics;
+};
+
+RunResult run_transfer(double loss, double rtt_ms, std::uint64_t bytes,
+                       RecoveryMechanism mech, std::uint64_t seed,
+                       std::uint32_t init_rwnd = 1 << 20) {
+  sim::Simulator sim;
+  sim::LinkConfig down_cfg;
+  down_cfg.prop_delay = Duration::seconds(rtt_ms / 2000.0);
+  down_cfg.random_loss = loss;
+  down_cfg.jitter_mean = Duration::millis(1);
+  sim::LinkConfig up_cfg;
+  up_cfg.prop_delay = down_cfg.prop_delay;
+  up_cfg.random_loss = loss / 2;
+  sim::Link down(sim, down_cfg, Rng(seed));
+  sim::Link up(sim, up_cfg, Rng(seed + 1));
+
+  tcp::ConnectionConfig cfg;
+  cfg.client_to_server = {net::ipv4_from_string("10.0.0.1"),
+                          net::ipv4_from_string("192.168.1.1"), 40001, 80};
+  cfg.sender.recovery = mech;
+  cfg.receiver.init_rwnd_bytes = init_rwnd;
+  cfg.receiver.max_rwnd_bytes = std::max(init_rwnd, 1u << 20);
+  tcp::RequestSpec req;
+  req.response_bytes = bytes;
+  cfg.requests.push_back(req);
+
+  RunResult r;
+  tcp::Connection conn(sim, down, up, cfg, &r.trace);
+  conn.start();
+  sim.run_until(sim.now() + Duration::seconds(900.0));
+  r.completed = conn.metrics().completed;
+  r.stats = conn.sender().stats();
+  r.metrics = conn.metrics();
+  return r;
+}
+
+// ---- Reliability sweep: loss x mechanism ----
+
+using LossMechParam = std::tuple<double, RecoveryMechanism, std::uint64_t>;
+
+class ReliabilitySweep : public ::testing::TestWithParam<LossMechParam> {};
+
+TEST_P(ReliabilitySweep, TransferAlwaysCompletes) {
+  const auto [loss, mech, seed] = GetParam();
+  const auto r = run_transfer(loss, 100.0, 80'000, mech, seed);
+  EXPECT_TRUE(r.completed) << "loss=" << loss;
+  // Every transmitted byte range is within the stream.
+  for (const auto& p : r.trace.packets()) {
+    if (p.key.src_port == 80 && p.payload_len > 0) {
+      EXPECT_LE(p.payload_len, 1448u);
+    }
+  }
+}
+
+TEST_P(ReliabilitySweep, AnalyzerInvariantsHold) {
+  const auto [loss, mech, seed] = GetParam();
+  const auto r = run_transfer(loss, 100.0, 80'000, mech, seed);
+  analysis::Analyzer analyzer;
+  const auto result = analyzer.analyze(r.trace);
+  ASSERT_EQ(result.flows.size(), 1u);
+  const auto& fa = result.flows[0];
+  // Conservation and sanity invariants.
+  EXPECT_LE(fa.stalled_time, fa.transmission_time);
+  EXPECT_GE(fa.retrans_segments, fa.timeout_retrans);
+  EXPECT_EQ(fa.retrans_segments, fa.timeout_retrans + fa.fast_retrans);
+  EXPECT_LE(fa.spurious_retrans, fa.retrans_segments);
+  for (const auto& s : fa.stalls) {
+    EXPECT_GT(s.duration, Duration::zero());
+    EXPECT_GE(s.rel_position, 0.0);
+    EXPECT_LE(s.rel_position, 1.0);
+    if (s.cause == analysis::StallCause::kRetransmission) {
+      EXPECT_NE(s.retrans_cause, analysis::RetransCause::kNone);
+    } else {
+      EXPECT_EQ(s.retrans_cause, analysis::RetransCause::kNone);
+    }
+  }
+  // The analyzer counted exactly the sender's retransmissions.
+  EXPECT_EQ(fa.retrans_segments, r.stats.retransmissions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossLevels, ReliabilitySweep,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.05, 0.12, 0.25),
+                       ::testing::Values(RecoveryMechanism::kNative,
+                                         RecoveryMechanism::kTlp,
+                                         RecoveryMechanism::kSrto),
+                       ::testing::Values(1001, 2002)));
+
+// ---- RTT sweep ----
+
+class RttSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RttSweep, LatencyScalesWithRtt) {
+  const double rtt = GetParam();
+  const auto r = run_transfer(0.0, rtt, 30'000, RecoveryMechanism::kNative, 5);
+  ASSERT_TRUE(r.completed);
+  const Duration latency = r.metrics.requests[0].latency();
+  // At least 1 RTT (request + response), at most ~10 RTTs for 21 segments
+  // of slow start plus delack allowances.
+  EXPECT_GE(latency, Duration::seconds(rtt / 1000.0));
+  EXPECT_LE(latency, Duration::seconds(10.0 * rtt / 1000.0 + 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, RttSweep,
+                         ::testing::Values(20.0, 50.0, 100.0, 200.0, 400.0));
+
+// ---- Receive window sweep ----
+
+class RwndSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RwndSweep, ThroughputBoundedByWindow) {
+  const std::uint32_t rwnd_mss = GetParam();
+  const std::uint32_t rwnd = rwnd_mss * 1448;
+  const std::uint64_t bytes = 500'000;
+  sim::Simulator sim;
+  sim::LinkConfig link_cfg;
+  link_cfg.prop_delay = Duration::millis(50);  // RTT = 100 ms
+  sim::Link down(sim, link_cfg, Rng(1));
+  sim::Link up(sim, link_cfg, Rng(2));
+  tcp::ConnectionConfig cfg;
+  cfg.client_to_server = {net::ipv4_from_string("10.0.0.1"),
+                          net::ipv4_from_string("192.168.1.1"), 40001, 80};
+  cfg.receiver.init_rwnd_bytes = rwnd;
+  cfg.receiver.max_rwnd_bytes = rwnd;
+  cfg.receiver.window_autotune = false;
+  tcp::RequestSpec req;
+  req.response_bytes = bytes;
+  cfg.requests.push_back(req);
+  tcp::Connection conn(sim, down, up, cfg, nullptr);
+  conn.start();
+  sim.run_until(sim.now() + Duration::seconds(900.0));
+  ASSERT_TRUE(conn.done());
+  const double secs = conn.metrics().requests[0].latency().sec();
+  const double rate = static_cast<double>(bytes) / secs;
+  // rate <= rwnd / RTT (window-bound), with slack for delack timing.
+  EXPECT_LE(rate, static_cast<double>(rwnd) / 0.1 * 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RwndSweep, ::testing::Values(4u, 16u, 64u));
+
+// ---- Determinism across the full matrix ----
+
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<double, RecoveryMechanism>> {};
+
+TEST_P(DeterminismSweep, IdenticalTraces) {
+  const auto [loss, mech] = GetParam();
+  const auto a = run_transfer(loss, 80.0, 60'000, mech, 77);
+  const auto b = run_transfer(loss, 80.0, 60'000, mech, 77);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].timestamp, b.trace[i].timestamp);
+    EXPECT_EQ(a.trace[i].tcp.seq, b.trace[i].tcp.seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DeterminismSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1),
+                       ::testing::Values(RecoveryMechanism::kNative,
+                                         RecoveryMechanism::kTlp,
+                                         RecoveryMechanism::kSrto)));
+
+// ---- Stall-detection threshold property ----
+
+class TauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TauSweep, HigherTauDetectsFewerStalls) {
+  const auto r = run_transfer(0.12, 100.0, 60'000, RecoveryMechanism::kNative,
+                              909);
+  analysis::AnalyzerConfig strict;
+  strict.tau = GetParam();
+  analysis::AnalyzerConfig lax;
+  lax.tau = GetParam() * 2.0;
+  const auto s = analysis::Analyzer(strict).analyze(r.trace);
+  const auto l = analysis::Analyzer(lax).analyze(r.trace);
+  ASSERT_EQ(s.flows.size(), 1u);
+  EXPECT_GE(s.flows[0].stalls.size(), l.flows[0].stalls.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, TauSweep, ::testing::Values(1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace tapo

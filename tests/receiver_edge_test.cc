@@ -1,0 +1,152 @@
+// Receiver edge cases: autotune bounds, SWS thresholds, pause/window-update
+// interplay, duplicate handling corner cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "tcp/receiver.h"
+
+namespace tapo::tcp {
+namespace {
+
+constexpr std::uint32_t kMss = 1000;
+constexpr std::uint32_t kIsn = 100;
+
+struct Harness {
+  sim::Simulator sim;
+  std::vector<TcpReceiver::AckSpec> acks;
+  std::unique_ptr<TcpReceiver> rcv;
+
+  explicit Harness(ReceiverConfig cfg) {
+    rcv = std::make_unique<TcpReceiver>(
+        sim, cfg, [this](const TcpReceiver::AckSpec& a) { acks.push_back(a); });
+    rcv->start(kIsn);
+  }
+  std::uint32_t seg(int i) const {
+    return kIsn + static_cast<std::uint32_t>(i) * kMss;
+  }
+  void data(int i) { rcv->on_data(seg(i), kMss); }
+  void advance(Duration d) { sim.run_until(sim.now() + d); }
+};
+
+ReceiverConfig cfg_fixed(std::uint32_t rwnd, std::uint64_t read_Bps = 0) {
+  ReceiverConfig cfg;
+  cfg.mss = kMss;
+  cfg.init_rwnd_bytes = rwnd;
+  cfg.max_rwnd_bytes = rwnd;
+  cfg.window_autotune = false;
+  cfg.app_read_Bps = read_Bps;
+  return cfg;
+}
+
+TEST(ReceiverEdge, AutotuneNeverExceedsMax) {
+  ReceiverConfig cfg;
+  cfg.mss = kMss;
+  cfg.init_rwnd_bytes = 4 * kMss;
+  cfg.max_rwnd_bytes = 10 * kMss;
+  cfg.window_autotune = true;
+  Harness h(cfg);
+  for (int i = 0; i < 200; ++i) h.data(i);
+  EXPECT_EQ(h.rcv->buffer_capacity(), 10 * kMss);
+}
+
+TEST(ReceiverEdge, AutotuneDisabledKeepsInit) {
+  Harness h(cfg_fixed(4 * kMss));
+  for (int i = 0; i < 100; ++i) h.data(i);
+  EXPECT_EQ(h.rcv->buffer_capacity(), 4 * kMss);
+}
+
+TEST(ReceiverEdge, SwsThresholdIsHalfCapForTinyBuffers) {
+  // Buffer smaller than 2*MSS: SWS threshold is cap/2, so the window can
+  // still open (min(mss, cap/2)).
+  auto cfg = cfg_fixed(kMss + 200, /*read_Bps=*/1);
+  Harness h(cfg);
+  h.rcv->on_data(kIsn, 700);
+  h.advance(Duration::millis(50));
+  ASSERT_FALSE(h.acks.empty());
+  // free = 1200-700 = 500 < (1200/2)=600 -> advertise 0.
+  EXPECT_EQ(h.acks.back().rwnd_bytes, 0u);
+}
+
+TEST(ReceiverEdge, RetransmittedOldSegmentAckedWithDsackEachTime) {
+  Harness h(cfg_fixed(20 * kMss));
+  h.data(0);
+  h.data(1);
+  ASSERT_EQ(h.acks.size(), 1u);
+  for (int k = 0; k < 3; ++k) h.data(0);  // same duplicate three times
+  EXPECT_EQ(h.acks.size(), 4u);
+  EXPECT_EQ(h.rcv->dsacks_sent(), 3u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_FALSE(h.acks[i].sack_blocks.empty());
+    EXPECT_EQ(h.acks[i].sack_blocks[0].start, h.seg(0));
+  }
+}
+
+TEST(ReceiverEdge, PartialOverlapNotDsacked) {
+  // Segment covering old + new data is not a pure duplicate.
+  Harness h(cfg_fixed(20 * kMss));
+  h.data(0);
+  // [seg0+500, seg0+500+kMss): overlaps 500 old bytes, brings 500 new.
+  h.rcv->on_data(h.seg(0) + 500, kMss);
+  EXPECT_EQ(h.rcv->dsacks_sent(), 0u);
+  EXPECT_EQ(h.rcv->rcv_nxt(), h.seg(0) + 500 + kMss);
+}
+
+TEST(ReceiverEdge, WindowUpdateAfterPauseEnds) {
+  auto cfg = cfg_fixed(3 * kMss, /*read_Bps=*/1'000'000);
+  cfg.pause_every_bytes = kMss;            // pause almost immediately
+  cfg.pause_duration = Duration::millis(300);
+  Harness h(cfg);
+  h.data(0);
+  h.advance(Duration::millis(5));
+  h.data(1);
+  h.data(2);  // buffer now at/near capacity while the reader is paused
+  const auto acks_before = h.acks.size();
+  ASSERT_GT(acks_before, 0u);
+  // After the pause the reader drains and a window update goes out.
+  h.advance(Duration::seconds(1.0));
+  ASSERT_GT(h.acks.size(), acks_before);
+  EXPECT_GT(h.acks.back().rwnd_bytes, 0u);
+}
+
+TEST(ReceiverEdge, ManyOooBlocksCappedAtFourSacks) {
+  Harness h(cfg_fixed(64 * kMss));
+  // Six disjoint out-of-order blocks.
+  for (int i = 2; i <= 12; i += 2) h.data(i);
+  ASSERT_FALSE(h.acks.empty());
+  EXPECT_LE(h.acks.back().sack_blocks.size(), 4u);
+}
+
+TEST(ReceiverEdge, ZeroWindowAckCountsOncePerAck) {
+  auto cfg = cfg_fixed(2 * kMss, /*read_Bps=*/1);
+  Harness h(cfg);
+  h.data(0);
+  h.data(1);
+  const auto zw = h.rcv->zero_window_acks();
+  EXPECT_GE(zw, 1u);
+  h.data(0);  // duplicate -> another zero-window ack
+  EXPECT_GT(h.rcv->zero_window_acks(), zw);
+}
+
+TEST(ReceiverEdge, FinExactlyAtRcvNxtAfterOooAbsorption) {
+  Harness h(cfg_fixed(20 * kMss));
+  h.data(0);
+  h.data(2);
+  h.data(1);  // absorbs block; rcv_nxt = seg(3)
+  h.rcv->on_fin(h.seg(3));
+  EXPECT_EQ(h.acks.back().ack, h.seg(3) + 1);
+}
+
+TEST(ReceiverEdge, InstantReaderNeverPauses) {
+  auto cfg = cfg_fixed(4 * kMss, /*read_Bps=*/0);
+  cfg.pause_every_bytes = kMss;  // ignored: pauses need a finite read rate
+  Harness h(cfg);
+  for (int i = 0; i < 20; ++i) h.data(i);
+  EXPECT_EQ(h.rcv->current_rwnd(), 4 * kMss);
+  EXPECT_EQ(h.rcv->zero_window_acks(), 0u);
+}
+
+}  // namespace
+}  // namespace tapo::tcp

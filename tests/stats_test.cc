@@ -1,0 +1,196 @@
+// Tests for the stats library: Summary, Cdf, Histogram, Table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cdf.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "util/rng.h"
+
+namespace tapo::stats {
+namespace {
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, MergeMatchesCombined) {
+  Rng rng(1);
+  Summary a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeIntoEmpty) {
+  Summary a, b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Cdf, PercentileDefinition) {
+  Cdf c;
+  for (int i = 1; i <= 5; ++i) c.add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(c.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.percentile(0.5), 3.0);
+  // Type-7: h = q*(n-1) = 0.25*4 = 1 -> exactly the 2nd sample.
+  EXPECT_DOUBLE_EQ(c.percentile(0.25), 2.0);
+  // Interpolation: q=0.1 -> h=0.4 -> 1 + 0.4*(2-1).
+  EXPECT_DOUBLE_EQ(c.percentile(0.1), 1.4);
+}
+
+TEST(Cdf, FractionAtMost) {
+  Cdf c;
+  for (int i = 1; i <= 10; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_most(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_at_most(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_most(100.0), 1.0);
+}
+
+TEST(Cdf, AddN) {
+  Cdf c;
+  c.add_n(7.0, 3);
+  c.add(1.0);
+  EXPECT_EQ(c.count(), 4u);
+  EXPECT_DOUBLE_EQ(c.fraction_at_most(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_most(6.0), 0.25);
+}
+
+TEST(Cdf, CurveMonotone) {
+  Cdf c;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) c.add(rng.exponential(10.0));
+  const auto pts = c.curve(20);
+  ASSERT_EQ(pts.size(), 20u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+    EXPECT_GT(pts[i].f, pts[i - 1].f);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+}
+
+TEST(Cdf, CurveAt) {
+  Cdf c;
+  for (int i = 1; i <= 4; ++i) c.add(i);
+  const auto pts = c.curve_at({0.0, 2.0, 9.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].f, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].f, 0.5);
+  EXPECT_DOUBLE_EQ(pts[2].f, 1.0);
+}
+
+TEST(Cdf, MinMaxMean) {
+  Cdf c;
+  c.add(3.0);
+  c.add(1.0);
+  c.add(5.0);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 5.0);
+  EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+}
+
+TEST(Cdf, Describe) {
+  Cdf c;
+  for (int i = 0; i < 100; ++i) c.add(i);
+  const std::string d = describe(c, "ms");
+  EXPECT_NE(d.find("n=100"), std::string::npos);
+  EXPECT_NE(d.find("ms"), std::string::npos);
+  EXPECT_EQ(describe(Cdf{}), "(no samples)");
+}
+
+TEST(Histogram, LinearBinning) {
+  auto h = Histogram::linear(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 6.0);
+}
+
+TEST(Histogram, LogBinning) {
+  auto h = Histogram::logarithmic(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_hi(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(1), 100.0, 1e-9);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(2), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  auto h = Histogram::linear(0.0, 4.0, 2);
+  h.add(1.0, 5);
+  EXPECT_EQ(h.bin(0), 5u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  auto h = Histogram::linear(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string r = h.render(10);
+  EXPECT_NE(r.find('#'), std::string::npos);
+  EXPECT_NE(r.find('\n'), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("My Table");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"b", "22"});
+  const std::string r = t.render();
+  EXPECT_NE(r.find("My Table"), std::string::npos);
+  EXPECT_NE(r.find("name"), std::string::npos);
+  EXPECT_NE(r.find("alpha | 1"), std::string::npos);
+  EXPECT_NE(r.find("-----"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+}  // namespace
+}  // namespace tapo::stats

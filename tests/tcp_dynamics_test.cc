@@ -1,0 +1,127 @@
+// Macro-level validation of the TCP substrate against known theory:
+// the Mathis et al. throughput model (rate ~ MSS / (RTT * sqrt(p))) and
+// qualitative CUBIC-vs-Reno behaviour. If these hold, the congestion
+// machinery as a whole behaves like TCP, not just its parts in isolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/ipv4.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace tapo::tcp {
+namespace {
+
+/// Steady-state goodput of a long transfer at given loss/RTT.
+double goodput_Bps(double loss, double rtt_ms, CcAlgo cc, std::uint64_t seed,
+                   std::uint64_t bytes = 4'000'000) {
+  sim::Simulator sim;
+  sim::LinkConfig down_cfg;
+  down_cfg.prop_delay = Duration::seconds(rtt_ms / 2000.0);
+  down_cfg.random_loss = loss;
+  sim::LinkConfig up_cfg;
+  up_cfg.prop_delay = down_cfg.prop_delay;
+  sim::Link down(sim, down_cfg, Rng(seed));
+  sim::Link up(sim, up_cfg, Rng(seed + 1));
+  ConnectionConfig cfg;
+  cfg.client_to_server = {net::ipv4_from_string("10.0.0.1"),
+                          net::ipv4_from_string("192.168.1.1"), 40001, 80};
+  cfg.sender.cc = cc;
+  cfg.receiver.max_rwnd_bytes = 8 << 20;  // never window-bound
+  RequestSpec req;
+  req.response_bytes = bytes;
+  cfg.requests.push_back(req);
+  Connection conn(sim, down, up, cfg, nullptr);
+  conn.start();
+  sim.run_until(sim.now() + Duration::seconds(3600.0));
+  if (!conn.done()) return 0.0;
+  return static_cast<double>(bytes) /
+         conn.metrics().requests[0].latency().sec();
+}
+
+class MathisSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MathisSweep, RenoGoodputTracksTheFormula) {
+  const auto [loss, rtt_ms] = GetParam();
+  // Average over seeds: the formula describes the mean behaviour.
+  double sum = 0;
+  const int runs = 3;
+  for (int s = 0; s < runs; ++s) {
+    const double g = goodput_Bps(loss, rtt_ms, CcAlgo::kReno, 100 + s);
+    ASSERT_GT(g, 0.0);
+    sum += g;
+  }
+  const double measured = sum / runs;
+  // Mathis et al.: rate = (MSS / (RTT * sqrt(p))) * sqrt(3/2).
+  const double mss = 1448, rtt = rtt_ms / 1000.0;
+  const double predicted = mss / (rtt * std::sqrt(loss)) * std::sqrt(1.5);
+  // Within a factor band: timeouts and delayed ACKs push the real value
+  // below the model, while the initial slow-start overshoot (significant
+  // for a finite transfer at low loss) pushes it above.
+  EXPECT_GT(measured, predicted * 0.25)
+      << "loss=" << loss << " rtt=" << rtt_ms;
+  EXPECT_LT(measured, predicted * 2.5)
+      << "loss=" << loss << " rtt=" << rtt_ms;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossRtt, MathisSweep,
+    ::testing::Combine(::testing::Values(0.005, 0.01, 0.02, 0.04),
+                       ::testing::Values(40.0, 100.0, 200.0)));
+
+TEST(TcpDynamics, GoodputDecreasesWithLoss) {
+  const double g1 = goodput_Bps(0.005, 80, CcAlgo::kReno, 7);
+  const double g2 = goodput_Bps(0.02, 80, CcAlgo::kReno, 7);
+  const double g3 = goodput_Bps(0.08, 80, CcAlgo::kReno, 7, 1'000'000);
+  EXPECT_GT(g1, g2);
+  EXPECT_GT(g2, g3);
+}
+
+TEST(TcpDynamics, GoodputDecreasesWithRtt) {
+  const double fast = goodput_Bps(0.01, 30, CcAlgo::kReno, 9);
+  const double slow = goodput_Bps(0.01, 300, CcAlgo::kReno, 9);
+  // Roughly inverse in RTT (10x RTT -> ~10x slower under the model).
+  EXPECT_GT(fast / slow, 4.0);
+}
+
+TEST(TcpDynamics, CubicOutperformsRenoOnLongFatPipes) {
+  // High bandwidth-delay product, light loss: CUBIC's faster window
+  // regrowth should win. Average over a few seeds.
+  double cubic = 0, reno = 0;
+  for (int s = 0; s < 3; ++s) {
+    cubic += goodput_Bps(0.002, 200, CcAlgo::kCubic, 40 + s, 12'000'000);
+    reno += goodput_Bps(0.002, 200, CcAlgo::kReno, 40 + s, 12'000'000);
+  }
+  EXPECT_GT(cubic, reno * 1.1);
+}
+
+TEST(TcpDynamics, LosslessTransferIsSlowStartBound) {
+  // Without loss, completion time ~ RTT * log2(bytes/mss/init_cwnd) plus
+  // drain: far faster than any lossy run and bounded below by a few RTTs.
+  sim::Simulator sim;
+  sim::LinkConfig link_cfg;
+  link_cfg.prop_delay = Duration::millis(50);
+  sim::Link down(sim, link_cfg, Rng(1));
+  sim::Link up(sim, link_cfg, Rng(2));
+  ConnectionConfig cfg;
+  cfg.client_to_server = {net::ipv4_from_string("10.0.0.1"),
+                          net::ipv4_from_string("192.168.1.1"), 40001, 80};
+  cfg.receiver.max_rwnd_bytes = 8 << 20;
+  RequestSpec req;
+  req.response_bytes = 1'000'000;
+  cfg.requests.push_back(req);
+  Connection conn(sim, down, up, cfg, nullptr);
+  conn.start();
+  sim.run_until(sim.now() + Duration::seconds(60.0));
+  ASSERT_TRUE(conn.done());
+  const double secs = conn.metrics().requests[0].latency().sec();
+  EXPECT_GT(secs, 0.4);  // >= ~4 RTTs of slow start
+  EXPECT_LT(secs, 2.5);  // and nowhere near lossy-path times
+}
+
+}  // namespace
+}  // namespace tapo::tcp

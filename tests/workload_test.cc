@@ -1,0 +1,157 @@
+// Tests for workload profiles and the experiment harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/experiment.h"
+#include "workload/profiles.h"
+
+namespace tapo::workload {
+namespace {
+
+TEST(Profiles, ThreeServicesDistinct) {
+  const auto cloud = cloud_storage_profile();
+  const auto soft = software_download_profile();
+  const auto web = web_search_profile();
+  EXPECT_EQ(cloud.service, Service::kCloudStorage);
+  EXPECT_EQ(soft.service, Service::kSoftwareDownload);
+  EXPECT_EQ(web.service, Service::kWebSearch);
+  // Table 1 orderings: cloud >> soft >> web in flow size.
+  EXPECT_GT(cloud.resp_lognorm_mu, soft.resp_lognorm_mu);
+  EXPECT_GT(soft.resp_lognorm_mu, web.resp_lognorm_mu);
+  // Web search has the lowest RTT.
+  EXPECT_LT(web.path.rtt_lognorm_mu, cloud.path.rtt_lognorm_mu);
+  // Cloud storage uses shared connections (multiple requests).
+  EXPECT_GT(cloud.max_requests, 1);
+  EXPECT_EQ(soft.max_requests, 1);
+  // S-RTO T1 per the paper: 5 for web search, 10 for cloud storage.
+  EXPECT_EQ(web.sender.srto.t1, 5u);
+  EXPECT_EQ(cloud.sender.srto.t1, 10u);
+}
+
+TEST(Profiles, RwndMixWeightsPositive) {
+  for (const auto& p : {cloud_storage_profile(), software_download_profile(),
+                        web_search_profile()}) {
+    double total = 0;
+    for (const auto& c : p.rwnd_mix) {
+      EXPECT_GT(c.weight, 0.0);
+      EXPECT_GE(c.init_rwnd_bytes, 2 * 1448u);
+      total += c.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 0.01);
+  }
+}
+
+TEST(DrawScenario, FieldsWithinBounds) {
+  const auto p = software_download_profile();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto sc = draw_scenario(p, rng, static_cast<std::uint64_t>(i));
+    ASSERT_EQ(sc.connection.requests.size(), 1u);
+    const auto& req = sc.connection.requests[0];
+    EXPECT_GE(req.response_bytes, p.resp_min_bytes);
+    EXPECT_LE(req.response_bytes, p.resp_max_bytes);
+    EXPECT_GE(sc.down_link.prop_delay.ms(), p.path.rtt_min_ms / 2 - 1e-9);
+    EXPECT_LE(sc.down_link.prop_delay.ms(), p.path.rtt_max_ms / 2 + 1e-9);
+    EXPECT_LE(sc.down_link.random_loss, p.path.loss_cap);
+    EXPECT_GE(sc.down_link.random_loss, 0.0);
+    EXPECT_EQ(sc.connection.client_to_server.dst_port, 80);
+  }
+}
+
+TEST(DrawScenario, UniqueFlowKeys) {
+  const auto p = web_search_profile();
+  Rng rng(5);
+  std::set<std::pair<std::uint32_t, std::uint16_t>> keys;
+  for (int i = 0; i < 100; ++i) {
+    const auto sc = draw_scenario(p, rng, static_cast<std::uint64_t>(i));
+    keys.insert({sc.connection.client_to_server.src_ip,
+                 sc.connection.client_to_server.src_port});
+  }
+  EXPECT_EQ(keys.size(), 100u);
+}
+
+TEST(DrawScenario, ResponseSizeAverageMatchesProfile) {
+  const auto p = web_search_profile();
+  Rng rng(11);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto sc = draw_scenario(p, rng, static_cast<std::uint64_t>(i));
+    sum += static_cast<double>(sc.connection.requests[0].response_bytes);
+  }
+  // Clamping shifts the lognormal mean; just check the right ballpark
+  // (Table 1: 14 KB average for web search).
+  EXPECT_GT(sum / n, 6e3);
+  EXPECT_LT(sum / n, 30e3);
+}
+
+TEST(Experiment, RunsAndAnalyzes) {
+  ExperimentConfig cfg;
+  cfg.profile = web_search_profile();
+  cfg.flows = 20;
+  cfg.seed = 3;
+  const auto res = run_experiment(cfg);
+  EXPECT_EQ(res.outcomes.size(), 20u);
+  EXPECT_EQ(res.analyses.size(), 20u);
+  EXPECT_GT(res.total_packets, 100u);
+  int completed = 0;
+  for (const auto& o : res.outcomes) completed += o.completed;
+  EXPECT_GE(completed, 18);
+  for (const auto& fa : res.analyses) {
+    EXPECT_GT(fa.data_segments, 0u);
+    EXPECT_LE(fa.stalled_time, fa.transmission_time);
+  }
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  ExperimentConfig cfg;
+  cfg.profile = web_search_profile();
+  cfg.flows = 10;
+  cfg.seed = 9;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  ASSERT_EQ(a.total_packets, b.total_packets);
+  ASSERT_EQ(a.analyses.size(), b.analyses.size());
+  for (std::size_t i = 0; i < a.analyses.size(); ++i) {
+    EXPECT_EQ(a.analyses[i].stalls.size(), b.analyses[i].stalls.size());
+    EXPECT_EQ(a.analyses[i].unique_bytes, b.analyses[i].unique_bytes);
+  }
+}
+
+TEST(Experiment, RecoveryOverrideReplaysSameWorkload) {
+  ExperimentConfig native;
+  native.profile = web_search_profile();
+  native.flows = 10;
+  native.seed = 17;
+  ExperimentConfig srto = native;
+  srto.recovery = tcp::RecoveryMechanism::kSrto;
+  const auto a = run_experiment(native);
+  const auto b = run_experiment(srto);
+  // The workload (response sizes) is identical; only recovery differs.
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].response_bytes, b.outcomes[i].response_bytes);
+    EXPECT_EQ(a.outcomes[i].init_rwnd_bytes, b.outcomes[i].init_rwnd_bytes);
+  }
+}
+
+TEST(Experiment, RetransRatioComputed) {
+  ExperimentConfig cfg;
+  cfg.profile = software_download_profile();
+  cfg.flows = 20;
+  cfg.seed = 5;
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.data_segments_sent, 0u);
+  EXPECT_GE(res.retrans_ratio(), 0.0);
+  EXPECT_LT(res.retrans_ratio(), 0.5);
+}
+
+TEST(Experiment, ServiceName) {
+  EXPECT_STREQ(to_string(Service::kCloudStorage), "cloud storage");
+  EXPECT_STREQ(to_string(Service::kWebSearch), "web search");
+}
+
+}  // namespace
+}  // namespace tapo::workload
