@@ -35,7 +35,7 @@ Outcome run(bool pacing, std::size_t flows) {
   cfg.profile.sender.pacing = pacing;
   cfg.flows = flows;
   cfg.seed = kBenchSeed;
-  const auto res = workload::run_experiment(cfg);
+  const auto res = workload::run_experiment(cfg, bench_threads());
 
   Outcome out;
   for (const auto& fa : res.analyses) {

@@ -32,7 +32,7 @@ Outcome run_with(std::optional<tcp::SrtoConfig> srto, std::size_t flows) {
     cfg.recovery = tcp::RecoveryMechanism::kSrto;
     cfg.srto = srto;
   }
-  const auto res = workload::run_experiment(cfg);
+  const auto res = workload::run_experiment(cfg, bench_threads());
   Outcome out;
   stats::Cdf lat;
   for (const auto& o : res.outcomes) {

@@ -29,7 +29,7 @@ int main() {
       cfg.profile = workload::profile_for(svc);
       cfg.flows = flows;
       cfg.seed = kBenchSeed;
-      const auto res = workload::run_experiment(cfg);
+      const auto res = workload::run_experiment(cfg, bench_threads());
       const auto bd = analysis::make_stall_breakdown(res.analyses);
       row.push_back(str_format("%llu",
                                static_cast<unsigned long long>(bd.total_count)));

@@ -3,16 +3,28 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/env.h"
 #include "util/strings.h"
 
 namespace tapo::bench {
 
 std::size_t flows_per_service(std::size_t dflt) {
-  if (const char* env = std::getenv("TAPO_BENCH_FLOWS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return dflt;
+  // Memoized so a malformed value warns once per binary, not per call.
+  static const std::size_t value =
+      util::env_positive_size("TAPO_BENCH_FLOWS", dflt);
+  return value;
+}
+
+std::size_t bench_threads(std::size_t dflt) {
+  static const std::size_t value = [dflt] {
+    // 0 is a valid request ("all cores"), so handle it before the
+    // positive-size path.
+    if (const char* raw = std::getenv("TAPO_BENCH_THREADS")) {
+      if (std::string(raw) == "0") return std::size_t{0};
+    }
+    return util::env_positive_size("TAPO_BENCH_THREADS", dflt);
+  }();
+  return value;
 }
 
 std::vector<ServiceRun> run_all_services(std::size_t flows, std::uint64_t seed,
@@ -21,23 +33,40 @@ std::vector<ServiceRun> run_all_services(std::size_t flows, std::uint64_t seed,
   for (auto svc : {workload::Service::kCloudStorage,
                    workload::Service::kSoftwareDownload,
                    workload::Service::kWebSearch}) {
-    workload::ExperimentConfig cfg;
-    cfg.profile = workload::profile_for(svc);
-    cfg.flows = flows;
-    cfg.seed = seed;
-    cfg.analyze = analyze;
-    runs.push_back({svc, workload::run_experiment(cfg)});
+    auto cfg = workload::ExperimentConfig{}
+                   .with_profile(workload::profile_for(svc))
+                   .with_flows(flows)
+                   .with_seed(seed)
+                   .with_analysis(analyze);
+    workload::RunOptions options;
+    options.threads = bench_threads();
+    workload::ParallelRunner runner(cfg, std::move(options));
+    workload::CollectingSink sink;
+    const auto perf = runner.run(sink);
+    print_perf(workload::to_string(svc), perf);
+    runs.push_back({svc, sink.take(), perf});
   }
   return runs;
+}
+
+void print_perf(const std::string& label, const workload::RunStats& stats) {
+  std::printf(
+      "[perf] %-17s %6zu flows  %7.2fs wall  %8.1f flows/s  "
+      "threads=%zu util=%.0f%%  (worker s: gen %.2f | sim %.2f | analyze "
+      "%.2f)\n",
+      label.c_str(), stats.flows, stats.wall_seconds, stats.flows_per_second,
+      stats.threads, stats.worker_utilization * 100.0, stats.generate_seconds,
+      stats.simulate_seconds, stats.analyze_seconds);
 }
 
 void print_banner(const std::string& title, const std::string& paper_ref,
                   std::size_t flows) {
   std::printf("==================================================================\n");
   std::printf("%s\n", title.c_str());
-  std::printf("reproduces: %s  |  flows/service: %zu  |  seed: %llu\n",
+  std::printf("reproduces: %s  |  flows/service: %zu  |  seed: %llu  |  "
+              "threads: %zu\n",
               paper_ref.c_str(), flows,
-              static_cast<unsigned long long>(kBenchSeed));
+              static_cast<unsigned long long>(kBenchSeed), bench_threads());
   std::printf("(absolute numbers differ from the paper's testbed; compare "
               "shapes/orderings)\n");
   std::printf("==================================================================\n");

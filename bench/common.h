@@ -1,9 +1,13 @@
 // Shared plumbing for the bench binaries: runs the calibrated service
 // workloads, and prints paper-vs-measured tables.
 //
-// Every bench accepts the environment variable TAPO_BENCH_FLOWS to scale
-// the number of simulated flows per service (default 400). Seeds are fixed
-// so output is reproducible.
+// Every bench accepts two environment variables:
+//   TAPO_BENCH_FLOWS   flows per service (default 400)
+//   TAPO_BENCH_THREADS worker threads for the sharded runner (default 1;
+//                      0 = all hardware threads). Results are bit-identical
+//                      for any thread count — only wall clock changes.
+// Seeds are fixed so output is reproducible. Malformed values warn and
+// fall back to the default instead of silently changing the experiment.
 #pragma once
 
 #include <cstdint>
@@ -14,23 +18,33 @@
 #include "stats/table.h"
 #include "tapo/report.h"
 #include "workload/experiment.h"
+#include "workload/runner.h"
 
 namespace tapo::bench {
 
 /// Flow count per service: TAPO_BENCH_FLOWS env var, else `dflt`.
 std::size_t flows_per_service(std::size_t dflt = 400);
 
+/// Worker threads: TAPO_BENCH_THREADS env var, else `dflt` (0 = all cores).
+std::size_t bench_threads(std::size_t dflt = 1);
+
 constexpr std::uint64_t kBenchSeed = 2015;  // CoNEXT '15
 
 struct ServiceRun {
   workload::Service service;
   workload::ExperimentResult result;
+  workload::RunStats perf;
 };
 
-/// Runs all three services with the calibrated profiles.
+/// Runs all three services with the calibrated profiles on bench_threads()
+/// workers, printing a one-line perf banner per service.
 std::vector<ServiceRun> run_all_services(std::size_t flows,
                                          std::uint64_t seed = kBenchSeed,
                                          bool analyze = true);
+
+/// Prints "[perf] ..." — wall clock, throughput, per-phase worker time and
+/// utilization for one run.
+void print_perf(const std::string& label, const workload::RunStats& stats);
 
 /// Prints the standard bench banner.
 void print_banner(const std::string& title, const std::string& paper_ref,

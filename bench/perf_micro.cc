@@ -7,7 +7,9 @@
 #include "pcap/pcap.h"
 #include "sim/simulator.h"
 #include "tapo/analyzer.h"
+#include "util/env.h"
 #include "workload/experiment.h"
+#include "workload/runner.h"
 
 using namespace tapo;
 
@@ -21,9 +23,10 @@ const net::PacketTrace& sample_trace() {
     Rng master(99);
     Rng flow_rng = master.split();
     const auto scenario = workload::draw_scenario(cfg.profile, flow_rng, 1);
-    net::PacketTrace t;
-    workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0), &t);
-    return t;
+    auto outcome =
+        workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0),
+                           workload::TraceCapture::kServerNic);
+    return std::move(*outcome.trace);
   }();
   return trace;
 }
@@ -50,11 +53,40 @@ void BM_SimulateOneFlow(benchmark::State& state) {
     Rng flow_rng = master.split();
     const auto scenario = workload::draw_scenario(cfg.profile, flow_rng, 1);
     const auto outcome = workload::run_flow(scenario, flow_rng.split(),
-                                            Duration::seconds(600.0), nullptr);
+                                            Duration::seconds(600.0));
     benchmark::DoNotOptimize(outcome.completed);
   }
 }
 BENCHMARK(BM_SimulateOneFlow);
+
+// The sharded experiment runner on the standard 400-flow workload
+// (TAPO_BENCH_FLOWS overrides), at 1/2/4 worker threads. Results are
+// bit-identical across thread counts; only wall clock changes.
+void BM_RunExperimentThreads(benchmark::State& state) {
+  workload::ExperimentConfig cfg;
+  cfg.profile = workload::web_search_profile();
+  cfg.flows = util::env_positive_size("TAPO_BENCH_FLOWS", 400);
+  cfg.seed = 2015;
+  for (auto _ : state) {
+    workload::RunOptions options;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    workload::ParallelRunner runner(cfg, std::move(options));
+    workload::BreakdownSink sink;
+    const auto stats = runner.run(sink);
+    benchmark::DoNotOptimize(sink.retrans_ratio());
+    state.counters["flows_per_s"] = stats.flows_per_second;
+    state.counters["util"] = stats.worker_utilization;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.flows));
+}
+BENCHMARK(BM_RunExperimentThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
 
 void BM_AnalyzeTrace(benchmark::State& state) {
   const auto& trace = sample_trace();

@@ -52,7 +52,7 @@ LatencySets run(workload::Service svc, RecoveryMechanism mech,
     cfg.seed = kBenchSeed + s;
     cfg.analyze = false;
     cfg.recovery = mech;
-    const auto part = collect(workload::run_experiment(cfg));
+    const auto part = collect(workload::run_experiment(cfg, bench_threads()));
     pooled.latency.merge(part.latency);
     pooled.throughput.merge(part.throughput);
   }

@@ -22,7 +22,7 @@ double ratio_for(workload::Service svc, RecoveryMechanism mech,
   cfg.seed = kBenchSeed;
   cfg.analyze = false;
   cfg.recovery = mech;
-  return workload::run_experiment(cfg).retrans_ratio() * 100.0;
+  return workload::run_experiment(cfg, bench_threads()).retrans_ratio() * 100.0;
 }
 
 }  // namespace

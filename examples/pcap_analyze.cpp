@@ -43,8 +43,10 @@ std::string make_demo(const std::string& path) {
     Rng flow_rng = master.split();
     const auto scenario =
         workload::draw_scenario(profile, flow_rng, static_cast<std::uint64_t>(i + 1));
-    workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0),
-                       &all);
+    const auto outcome =
+        workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0),
+                           workload::TraceCapture::kServerNic);
+    for (const auto& pkt : outcome.trace->packets()) all.add(pkt);
   }
   all.sort_by_time();
   pcap::write_file(path, all);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/strings.h"
 
@@ -48,6 +49,16 @@ void Histogram::add(double x, std::uint64_t weight) {
   }
   const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
   counts_[static_cast<std::size_t>(it - edges_.begin()) - 1] += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (edges_ != other.edges_) {
+    throw std::invalid_argument("Histogram::merge: bin edges differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 double Histogram::fraction(std::size_t i) const {

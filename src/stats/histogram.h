@@ -22,6 +22,11 @@ class Histogram {
 
   void add(double x, std::uint64_t weight = 1);
 
+  /// Pools another histogram built over the *same* edges into this one
+  /// (per-shard partials from parallel runs). Throws std::invalid_argument
+  /// when the bin edges differ.
+  void merge(const Histogram& other);
+
   std::size_t bin_count() const { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_[i]; }
   double bin_lo(std::size_t i) const { return edges_[i]; }

@@ -31,48 +31,74 @@ double RetransBreakdown::time_fraction(RetransCause c) const {
   return frac_time(by_cause[static_cast<std::size_t>(c)].time, total_time);
 }
 
-StallBreakdown make_stall_breakdown(const std::vector<FlowAnalysis>& flows) {
-  StallBreakdown bd;
-  for (const auto& f : flows) {
-    for (const auto& s : f.stalls) {
-      auto& agg = bd.by_cause[static_cast<std::size_t>(s.cause)];
-      ++agg.count;
-      agg.time += s.duration;
-      ++bd.total_count;
-      bd.total_time += s.duration;
+void StallBreakdown::add(const FlowAnalysis& flow) {
+  for (const auto& s : flow.stalls) {
+    auto& agg = by_cause[static_cast<std::size_t>(s.cause)];
+    ++agg.count;
+    agg.time += s.duration;
+    ++total_count;
+    total_time += s.duration;
+  }
+}
+
+void StallBreakdown::merge(const StallBreakdown& other) {
+  for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+    by_cause[c].count += other.by_cause[c].count;
+    by_cause[c].time += other.by_cause[c].time;
+  }
+  total_count += other.total_count;
+  total_time += other.total_time;
+}
+
+void RetransBreakdown::add(const FlowAnalysis& flow) {
+  for (const auto& s : flow.stalls) {
+    if (s.cause != StallCause::kRetransmission) continue;
+    auto& agg = by_cause[static_cast<std::size_t>(s.retrans_cause)];
+    ++agg.count;
+    agg.time += s.duration;
+    ++total_count;
+    total_time += s.duration;
+    if (s.retrans_cause == RetransCause::kDoubleRetrans) {
+      if (s.f_double) {
+        f_double_time += s.duration;
+      } else {
+        t_double_time += s.duration;
+      }
+    }
+    if (s.retrans_cause == RetransCause::kTailRetrans) {
+      if (s.state_at_stall == tcp::CaState::kRecovery ||
+          s.state_at_stall == tcp::CaState::kDisorder) {
+        tail_recovery_time += s.duration;
+      } else {
+        tail_open_time += s.duration;
+      }
     }
   }
+}
+
+void RetransBreakdown::merge(const RetransBreakdown& other) {
+  for (std::size_t c = 0; c < kNumRetransCauses; ++c) {
+    by_cause[c].count += other.by_cause[c].count;
+    by_cause[c].time += other.by_cause[c].time;
+  }
+  total_count += other.total_count;
+  total_time += other.total_time;
+  f_double_time += other.f_double_time;
+  t_double_time += other.t_double_time;
+  tail_open_time += other.tail_open_time;
+  tail_recovery_time += other.tail_recovery_time;
+}
+
+StallBreakdown make_stall_breakdown(const std::vector<FlowAnalysis>& flows) {
+  StallBreakdown bd;
+  for (const auto& f : flows) bd.add(f);
   return bd;
 }
 
 RetransBreakdown make_retrans_breakdown(
     const std::vector<FlowAnalysis>& flows) {
   RetransBreakdown bd;
-  for (const auto& f : flows) {
-    for (const auto& s : f.stalls) {
-      if (s.cause != StallCause::kRetransmission) continue;
-      auto& agg = bd.by_cause[static_cast<std::size_t>(s.retrans_cause)];
-      ++agg.count;
-      agg.time += s.duration;
-      ++bd.total_count;
-      bd.total_time += s.duration;
-      if (s.retrans_cause == RetransCause::kDoubleRetrans) {
-        if (s.f_double) {
-          bd.f_double_time += s.duration;
-        } else {
-          bd.t_double_time += s.duration;
-        }
-      }
-      if (s.retrans_cause == RetransCause::kTailRetrans) {
-        if (s.state_at_stall == tcp::CaState::kRecovery ||
-            s.state_at_stall == tcp::CaState::kDisorder) {
-          bd.tail_recovery_time += s.duration;
-        } else {
-          bd.tail_open_time += s.duration;
-        }
-      }
-    }
-  }
+  for (const auto& f : flows) bd.add(f);
   return bd;
 }
 

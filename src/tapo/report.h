@@ -18,16 +18,21 @@ struct CauseAgg {
 };
 
 /// Table 3: stall breakdown by top-level cause, by volume and time.
+/// Mergeable aggregate: build incrementally with add() (streaming sinks)
+/// or combine per-shard partials with merge().
 struct StallBreakdown {
   std::array<CauseAgg, kNumStallCauses> by_cause;
   std::uint64_t total_count = 0;
   Duration total_time;
 
+  void add(const FlowAnalysis& flow);
+  void merge(const StallBreakdown& other);
+
   double volume_fraction(StallCause c) const;
   double time_fraction(StallCause c) const;
 };
 
-/// Table 5: retransmission-stall breakdown.
+/// Table 5: retransmission-stall breakdown. Mergeable like StallBreakdown.
 struct RetransBreakdown {
   std::array<CauseAgg, kNumRetransCauses> by_cause;
   std::uint64_t total_count = 0;
@@ -38,6 +43,9 @@ struct RetransBreakdown {
   // Table 7: tail stalls by state (time).
   Duration tail_open_time;
   Duration tail_recovery_time;
+
+  void add(const FlowAnalysis& flow);
+  void merge(const RetransBreakdown& other);
 
   double volume_fraction(RetransCause c) const;
   double time_fraction(RetransCause c) const;

@@ -25,3 +25,4 @@
 #include "tapo/report.h"     // IWYU pragma: export
 #include "tcp/connection.h"  // IWYU pragma: export
 #include "workload/experiment.h"  // IWYU pragma: export
+#include "workload/runner.h"      // IWYU pragma: export

@@ -1,0 +1,34 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tapo::util {
+
+std::optional<std::size_t> parse_positive_size(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t value = 0;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  if (value == 0) return std::nullopt;
+  return value;
+}
+
+std::size_t env_positive_size(const char* name, std::size_t dflt) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return dflt;
+  if (const auto parsed = parse_positive_size(raw)) return *parsed;
+  TAPO_WARN << name << "='" << raw
+            << "' is not a positive integer; using default " << dflt;
+  return dflt;
+}
+
+}  // namespace tapo::util

@@ -1,0 +1,22 @@
+// Validated environment-variable parsing for the knobs bench binaries and
+// examples expose (TAPO_BENCH_FLOWS, TAPO_BENCH_THREADS, ...). Malformed
+// values must never silently change an experiment: they warn and fall back
+// to the caller's default instead of relying on strtol's lenient parsing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace tapo::util {
+
+/// Strict parse of a positive decimal size. Rejects empty strings, signs,
+/// non-digit characters (including trailing junk), zero, and values that
+/// overflow std::size_t.
+std::optional<std::size_t> parse_positive_size(const std::string& text);
+
+/// Reads env var `name` as a positive size. Unset -> `dflt`; malformed or
+/// zero -> warning on stderr + `dflt`.
+std::size_t env_positive_size(const char* name, std::size_t dflt);
+
+}  // namespace tapo::util

@@ -71,6 +71,8 @@ double Rng::bounded_pareto(double alpha, double lo, double hi) {
   return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
 }
 
-Rng Rng::split() { return Rng(next_u64() ^ 0xdeadbeefcafef00dULL); }
+std::uint64_t Rng::split_seed() { return next_u64() ^ 0xdeadbeefcafef00dULL; }
+
+Rng Rng::split() { return Rng(split_seed()); }
 
 }  // namespace tapo

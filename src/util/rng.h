@@ -50,6 +50,12 @@ class Rng {
   /// Split off an independent stream (for per-flow generators).
   Rng split();
 
+  /// The seed `split()` would hand the child stream. Exposed so a runner
+  /// can precompute per-flow seeds as a pure function of (seed, index) —
+  /// seed i is the i-th `split_seed()` of a master stream — and replay any
+  /// single flow without advancing a shared generator.
+  std::uint64_t split_seed();
+
  private:
   std::uint64_t s_[4];
 };

@@ -1,0 +1,88 @@
+#include "util/worker_pool.h"
+
+#include <chrono>
+
+namespace tapo::util {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  busy_s_.assign(threads, 0.0);
+  threads_.reserve(threads);
+  for (std::size_t id = 0; id < threads; ++id) {
+    threads_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::for_each(std::size_t count, const Task& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &fn;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  active_ = threads_.size();
+  busy_s_.assign(threads_.size(), 0.0);
+  error_ = nullptr;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [this] { return active_ == 0; });
+  task_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void WorkerPool::worker_main(std::size_t id) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const Task* task = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+      count = count_;
+    }
+
+    double busy = 0.0;
+    while (true) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        (*task)(i, id);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+        // Fast-forward the cursor so every worker abandons the job.
+        next_.store(count, std::memory_order_relaxed);
+      }
+      busy += seconds_since(t0);
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_s_[id] = busy;
+    if (--active_ == 0) cv_done_.notify_all();
+  }
+}
+
+std::size_t WorkerPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace tapo::util

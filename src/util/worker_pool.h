@@ -1,0 +1,70 @@
+// Small persistent worker pool for embarrassingly parallel index spaces.
+//
+// The experiment runner shards independent flows across cores: each flow
+// lives in a private simulator, so the only coordination needed is handing
+// out indices and joining at the end. WorkerPool keeps N threads alive
+// across jobs (bench binaries run several experiments back to back) and
+// dispatches `fn(index, worker)` over [0, count) via an atomic cursor, so
+// scheduling is dynamic (fast workers steal the tail) while results stay
+// deterministic as long as `fn` depends only on `index`.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tapo::util {
+
+class WorkerPool {
+ public:
+  /// Task invoked once per index; `worker` in [0, size()) identifies the
+  /// executing thread so tasks can keep per-worker accumulators without
+  /// locking.
+  using Task = std::function<void(std::size_t index, std::size_t worker)>;
+
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Runs fn(i, worker) for every i in [0, count), blocking until all
+  /// indices finish. If a task throws, the first exception is rethrown
+  /// here and remaining indices are abandoned. Not reentrant: one job at
+  /// a time per pool.
+  void for_each(std::size_t count, const Task& fn);
+
+  /// Per-worker seconds spent inside `fn` during the last for_each — the
+  /// numerator of a utilization figure (busy / (workers * wall)).
+  const std::vector<double>& busy_seconds() const { return busy_s_; }
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_main(std::size_t id);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const Task* task_ = nullptr;     // valid while a job is live
+  std::size_t count_ = 0;          // indices in the live job
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;         // workers still draining the live job
+  std::uint64_t generation_ = 0;   // bumped per job to wake workers
+  bool stop_ = false;
+  std::vector<double> busy_s_;
+  std::exception_ptr error_;
+};
+
+}  // namespace tapo::util

@@ -1,19 +1,97 @@
 #include "workload/experiment.h"
 
+#include <stdexcept>
+
 #include "sim/simulator.h"
+#include "workload/runner.h"
 
 namespace tapo::workload {
 
+ExperimentConfig& ExperimentConfig::with_profile(ServiceProfile p) {
+  profile = std::move(p);
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_flows(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig::with_flows: flows must be > 0 (a zero-flow "
+        "experiment would silently produce empty tables)");
+  }
+  flows = n;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_recovery(tcp::RecoveryMechanism m) {
+  recovery = m;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_srto(tcp::SrtoConfig s) {
+  srto = s;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_max_flow_time(Duration d) {
+  if (d <= Duration::zero()) {
+    throw std::invalid_argument(
+        "ExperimentConfig::with_max_flow_time: cap must be positive");
+  }
+  max_flow_time = d;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_analysis(bool on) {
+  analyze = on;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_analyzer(analysis::AnalyzerConfig a) {
+  analyzer = a;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_capture(TraceCapture c) {
+  capture = c;
+  return *this;
+}
+
+void ExperimentConfig::validate() const {
+  if (flows == 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig: flows must be > 0 (a zero-flow experiment would "
+        "silently produce empty tables)");
+  }
+  if (profile.rwnd_mix.empty()) {
+    throw std::invalid_argument(
+        "ExperimentConfig: profile has no rwnd classes — it looks "
+        "default-constructed; use profile_for()/cloud_storage_profile()/"
+        "software_download_profile()/web_search_profile()");
+  }
+  if (max_flow_time <= Duration::zero()) {
+    throw std::invalid_argument(
+        "ExperimentConfig: max_flow_time must be positive");
+  }
+}
+
 FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
-                     Duration max_flow_time, net::PacketTrace* trace) {
+                     Duration max_flow_time, TraceCapture capture) {
+  FlowOutcome out;
+  if (capture == TraceCapture::kServerNic) out.trace.emplace();
+
   sim::Simulator sim;
   sim::Link down(sim, scenario.down_link, link_rng.split());
   sim::Link up(sim, scenario.up_link, link_rng.split());
-  tcp::Connection conn(sim, down, up, scenario.connection, trace);
+  tcp::Connection conn(sim, down, up, scenario.connection,
+                       out.trace ? &*out.trace : nullptr);
   conn.start();
   sim.run_until(sim.now() + max_flow_time);
 
-  FlowOutcome out;
   out.metrics = conn.metrics();
   out.sender_stats = conn.sender().stats();
   out.init_rwnd_bytes = conn.init_rwnd_bytes();
@@ -24,36 +102,14 @@ FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
   return out;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  ExperimentResult result;
-  result.outcomes.reserve(config.flows);
-
-  Rng master(config.seed);
-  analysis::Analyzer analyzer(config.analyzer);
-
-  for (std::size_t i = 0; i < config.flows; ++i) {
-    Rng flow_rng = master.split();
-    FlowScenario scenario = draw_scenario(config.profile, flow_rng, i + 1);
-    if (config.recovery) scenario.connection.sender.recovery = *config.recovery;
-    if (config.srto) scenario.connection.sender.srto = *config.srto;
-
-    net::PacketTrace trace;
-    FlowOutcome outcome =
-        run_flow(scenario, flow_rng.split(), config.max_flow_time,
-                 config.analyze ? &trace : nullptr);
-    result.total_packets += trace.size();
-    result.data_segments_sent += outcome.sender_stats.segments_sent;
-    result.retransmissions += outcome.sender_stats.retransmissions;
-
-    if (config.analyze && !trace.empty()) {
-      auto analyses = analyzer.analyze(trace);
-      for (auto& fa : analyses.flows) {
-        result.analyses.push_back(std::move(fa));
-      }
-    }
-    result.outcomes.push_back(std::move(outcome));
-  }
-  return result;
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                std::size_t threads) {
+  RunOptions options;
+  options.threads = threads;
+  ParallelRunner runner(config, std::move(options));
+  CollectingSink sink;
+  runner.run(sink);
+  return sink.take();
 }
 
 }  // namespace tapo::workload

@@ -5,6 +5,12 @@
 // a seed and embarrassingly simple to reason about. The same seed with a
 // different recovery mechanism replays the *same* workload — the paper's
 // production A/B methodology for Table 8/9 (§5.2).
+//
+// `run_experiment` here is the buffering compatibility layer: it collects
+// every per-flow result into one ExperimentResult. Large sweeps should use
+// the streaming `ParallelRunner` + `FlowSink` API in workload/runner.h,
+// which shards flows across a worker pool and never needs to materialize
+// all analyses at once.
 #pragma once
 
 #include <cstdint>
@@ -12,11 +18,20 @@
 #include <optional>
 #include <vector>
 
+#include "net/trace.h"
 #include "tapo/analyzer.h"
 #include "tcp/connection.h"
 #include "workload/profiles.h"
 
 namespace tapo::workload {
+
+/// Whether a flow's server-NIC packets are captured and returned in the
+/// FlowOutcome. Capture is owned by the outcome (value semantics) — there
+/// is no caller-managed trace buffer to keep alive.
+enum class TraceCapture {
+  kNone,       // simulate only; FlowOutcome::trace is empty
+  kServerNic,  // keep the per-flow capture in FlowOutcome::trace
+};
 
 struct ExperimentConfig {
   ServiceProfile profile;
@@ -29,6 +44,28 @@ struct ExperimentConfig {
   Duration max_flow_time = Duration::seconds(600.0);
   bool analyze = true;
   analysis::AnalyzerConfig analyzer;
+  /// Keep each flow's packet capture in its FlowOutcome (independent of
+  /// `analyze`, which captures internally but discards after analysis).
+  TraceCapture capture = TraceCapture::kNone;
+
+  // Fluent construction. Each setter validates eagerly where it can and
+  // returns *this so configs read as one expression:
+  //   ExperimentConfig{}.with_profile(web_search_profile()).with_flows(500)
+  ExperimentConfig& with_profile(ServiceProfile p);
+  ExperimentConfig& with_flows(std::size_t n);  // throws on n == 0
+  ExperimentConfig& with_seed(std::uint64_t s);
+  ExperimentConfig& with_recovery(tcp::RecoveryMechanism m);
+  ExperimentConfig& with_srto(tcp::SrtoConfig s);
+  ExperimentConfig& with_max_flow_time(Duration d);  // throws on d <= 0
+  ExperimentConfig& with_analysis(bool on);
+  ExperimentConfig& with_analyzer(analysis::AnalyzerConfig a);
+  ExperimentConfig& with_capture(TraceCapture c);
+
+  /// Full validation, run by every runner entry point before any flow is
+  /// simulated. Throws std::invalid_argument with a self-explanatory
+  /// message on flows == 0, an empty/default profile (no rwnd classes —
+  /// the silent-empty-tables failure mode), or a non-positive flow cap.
+  void validate() const;
 };
 
 struct FlowOutcome {
@@ -37,6 +74,8 @@ struct FlowOutcome {
   std::uint32_t init_rwnd_bytes = 0;
   std::uint64_t response_bytes = 0;
   bool completed = false;
+  /// Server-NIC capture when TraceCapture::kServerNic was requested.
+  std::optional<net::PacketTrace> trace;
 };
 
 struct ExperimentResult {
@@ -57,10 +96,17 @@ struct ExperimentResult {
 };
 
 /// Runs one flow scenario to completion (or the time cap) in a private
-/// simulator; appends captured packets to `trace` when non-null.
+/// simulator. With TraceCapture::kServerNic the captured packets are
+/// returned inside the outcome.
 FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
-                     Duration max_flow_time, net::PacketTrace* trace);
+                     Duration max_flow_time,
+                     TraceCapture capture = TraceCapture::kNone);
 
-ExperimentResult run_experiment(const ExperimentConfig& config);
+/// Compatibility entry point: runs the experiment (on `threads` workers;
+/// 1 = serial, 0 = all hardware threads) and buffers everything into an
+/// ExperimentResult. Output is bit-identical for any thread count — see
+/// workload/runner.h for the seed-derivation scheme that guarantees it.
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                std::size_t threads = 1);
 
 }  // namespace tapo::workload

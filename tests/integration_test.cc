@@ -28,8 +28,9 @@ TEST(Integration, TraceSurvivesPcapRoundTrip) {
   Rng master(cfg.seed);
   Rng flow_rng = master.split();
   const auto scenario = draw_scenario(cfg.profile, flow_rng, 1);
-  net::PacketTrace trace;
-  run_flow(scenario, flow_rng.split(), cfg.max_flow_time, &trace);
+  auto outcome = run_flow(scenario, flow_rng.split(), cfg.max_flow_time,
+                          TraceCapture::kServerNic);
+  const net::PacketTrace trace = std::move(*outcome.trace);
   ASSERT_GT(trace.size(), 5u);
 
   std::stringstream ss;

@@ -21,9 +21,10 @@ net::PacketTrace sample_trace(std::size_t flows, std::uint64_t seed = 21,
   for (std::size_t i = 0; i < flows; ++i) {
     Rng flow_rng = master.split();
     const auto sc = workload::draw_scenario(profile, flow_rng, i + 1);
-    net::PacketTrace one;
-    workload::run_flow(sc, flow_rng.split(), Duration::seconds(600.0), &one);
-    for (auto pkt : one.packets()) {
+    const auto outcome =
+        workload::run_flow(sc, flow_rng.split(), Duration::seconds(600.0),
+                           workload::TraceCapture::kServerNic);
+    for (auto pkt : outcome.trace->packets()) {
       pkt.timestamp =
           pkt.timestamp + stagger * static_cast<std::int64_t>(i);
       all.add(std::move(pkt));

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "stats/cdf.h"
 #include "stats/histogram.h"
@@ -153,6 +154,28 @@ TEST(Histogram, LogBinning) {
   EXPECT_EQ(h.bin(0), 1u);
   EXPECT_EQ(h.bin(1), 1u);
   EXPECT_EQ(h.bin(2), 1u);
+}
+
+TEST(Histogram, MergePoolsCountsAndTails) {
+  auto a = Histogram::linear(0.0, 10.0, 5);
+  auto b = Histogram::linear(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(-1.0);
+  b.add(1.5);
+  b.add(9.0);
+  b.add(11.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin(0), 2u);
+  EXPECT_EQ(a.bin(4), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedEdges) {
+  auto a = Histogram::linear(0.0, 10.0, 5);
+  auto b = Histogram::linear(0.0, 10.0, 4);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 TEST(Histogram, WeightedAdd) {

@@ -1,9 +1,17 @@
-// Tests for util: time types, deterministic RNG, strings.
+// Tests for util: time types, deterministic RNG, strings, env parsing,
+// and the worker pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/time.h"
+#include "util/worker_pool.h"
 
 namespace tapo {
 namespace {
@@ -145,6 +153,90 @@ TEST(Strings, Split) {
   EXPECT_EQ(parts[2], "c");
   EXPECT_EQ(split("xyz", '.').size(), 1u);
   EXPECT_EQ(split("", '.').size(), 1u);
+}
+
+TEST(Rng, SplitSeedMatchesSplit) {
+  Rng a(42), b(42);
+  const auto seed = a.split_seed();
+  Rng from_seed(seed);
+  Rng from_split = b.split();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(from_seed.next_u64(), from_split.next_u64());
+  }
+}
+
+TEST(Env, ParsePositiveSizeAcceptsPlainDecimals) {
+  EXPECT_EQ(util::parse_positive_size("400"), 400u);
+  EXPECT_EQ(util::parse_positive_size("1"), 1u);
+  EXPECT_EQ(util::parse_positive_size("6400000"), 6'400'000u);
+}
+
+TEST(Env, ParsePositiveSizeRejectsMalformedInput) {
+  EXPECT_FALSE(util::parse_positive_size(""));
+  EXPECT_FALSE(util::parse_positive_size("0"));
+  EXPECT_FALSE(util::parse_positive_size("-3"));
+  EXPECT_FALSE(util::parse_positive_size("+3"));
+  EXPECT_FALSE(util::parse_positive_size("12x"));
+  EXPECT_FALSE(util::parse_positive_size("x12"));
+  EXPECT_FALSE(util::parse_positive_size(" 4"));
+  EXPECT_FALSE(util::parse_positive_size("4 "));
+  EXPECT_FALSE(util::parse_positive_size("1e6"));
+  EXPECT_FALSE(util::parse_positive_size("0x10"));
+  // Overflows std::size_t.
+  EXPECT_FALSE(util::parse_positive_size("99999999999999999999999999"));
+}
+
+TEST(Env, EnvPositiveSizeFallsBackOnBadValues) {
+  ::setenv("TAPO_TEST_ENV_SIZE", "123", 1);
+  EXPECT_EQ(util::env_positive_size("TAPO_TEST_ENV_SIZE", 7), 123u);
+  ::setenv("TAPO_TEST_ENV_SIZE", "bogus", 1);
+  EXPECT_EQ(util::env_positive_size("TAPO_TEST_ENV_SIZE", 7), 7u);
+  ::setenv("TAPO_TEST_ENV_SIZE", "0", 1);
+  EXPECT_EQ(util::env_positive_size("TAPO_TEST_ENV_SIZE", 7), 7u);
+  ::unsetenv("TAPO_TEST_ENV_SIZE");
+  EXPECT_EQ(util::env_positive_size("TAPO_TEST_ENV_SIZE", 7), 7u);
+}
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  util::WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(500);
+  pool.for_each(hits.size(), [&](std::size_t i, std::size_t worker) {
+    EXPECT_LT(worker, 4u);
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.busy_seconds().size(), 4u);
+}
+
+TEST(WorkerPool, ReusableAcrossJobs) {
+  util::WorkerPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> sum{0};
+    pool.for_each(100, [&](std::size_t i, std::size_t) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(WorkerPool, PropagatesFirstTaskException) {
+  util::WorkerPool pool(3);
+  EXPECT_THROW(pool.for_each(50,
+                             [&](std::size_t i, std::size_t) {
+                               if (i == 10) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  // Pool survives the failed job.
+  std::atomic<int> count{0};
+  pool.for_each(10, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(WorkerPool, ZeroThreadsClampsToOne) {
+  util::WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_GE(util::WorkerPool::hardware_threads(), 1u);
 }
 
 }  // namespace
