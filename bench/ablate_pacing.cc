@@ -55,7 +55,8 @@ Outcome run(bool pacing, std::size_t flows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service(250);
   print_banner("Ablation: TCP pacing vs continuous-loss stalls",
                "the mitigation suggested in §4.3 [21]", flows);
@@ -80,5 +81,6 @@ int main() {
   std::printf("\nreading: pacing drains bursts into shallow queues, cutting "
               "continuous-loss stalls\n(and queue drops) at little cost — "
               "confirming the paper's §4.3 suggestion.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -54,7 +54,8 @@ Outcome run_with(std::optional<tcp::SrtoConfig> srto, std::size_t flows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service(600);
   print_banner("Ablation: S-RTO parameters (T1, T2, probe timer)",
                "design choices of Alg. 1 (paper §5.1)", flows);
@@ -111,5 +112,6 @@ int main() {
               "more probes); shorter probe timers\nrecover faster but "
               "retransmit more; T2 trades cwnd caution against recovery "
               "speed.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

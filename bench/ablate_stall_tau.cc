@@ -9,7 +9,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Ablation: stall threshold tau in min(tau*SRTT, RTO)",
                "stall definition (paper §2.2)", flows);
@@ -41,5 +42,6 @@ int main() {
   std::printf("\nreading: stall counts fall monotonically with tau; tau=2 "
               "captures RTO-scale gaps while\nignoring ordinary ack-clock "
               "jitter.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

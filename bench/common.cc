@@ -2,11 +2,39 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
 
+#include "telemetry/telemetry.h"
 #include "util/env.h"
 #include "util/strings.h"
 
 namespace tapo::bench {
+
+namespace {
+
+/// Artifact directory chosen by init_telemetry; empty = telemetry off.
+std::string g_telemetry_dir;
+
+/// One-shot note when multi-threaded runs cannot show a speedup here.
+void maybe_warn_few_cpus(std::size_t threads_requested) {
+  static bool warned = false;
+  if (warned) return;
+  const unsigned online = std::thread::hardware_concurrency();
+  // hardware_concurrency() == 0 means "unknown" (the standard allows it);
+  // treat it like a single-CPU box since a speedup is equally unverifiable.
+  if (online > 1) return;
+  if (threads_requested == 1) return;  // serial run: nothing to measure
+  warned = true;
+  std::printf(
+      "[note] %u online CPU%s; multi-thread speedup not measurable on this "
+      "machine (results are still bit-identical to a serial run)\n",
+      online, online == 1 ? "" : "s");
+}
+
+}  // namespace
 
 std::size_t flows_per_service(std::size_t dflt) {
   // Memoized so a malformed value warns once per binary, not per call.
@@ -29,6 +57,7 @@ std::size_t bench_threads(std::size_t dflt) {
 
 std::vector<ServiceRun> run_all_services(std::size_t flows, std::uint64_t seed,
                                          bool analyze) {
+  maybe_warn_few_cpus(bench_threads());
   std::vector<ServiceRun> runs;
   for (auto svc : {workload::Service::kCloudStorage,
                    workload::Service::kSoftwareDownload,
@@ -47,6 +76,72 @@ std::vector<ServiceRun> run_all_services(std::size_t flows, std::uint64_t seed,
     runs.push_back({svc, sink.take(), perf});
   }
   return runs;
+}
+
+void init_telemetry(int argc, char** argv) {
+  const char* dir = std::getenv("TAPO_TELEMETRY_OUT");
+  std::string from_flag;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kFlag = "--telemetry-out=";
+    if (arg.rfind(kFlag, 0) == 0) from_flag = arg.substr(std::string(kFlag).size());
+  }
+  if (!from_flag.empty()) {
+    g_telemetry_dir = from_flag;  // flag wins over the env var
+  } else if (dir != nullptr && dir[0] != '\0') {
+    g_telemetry_dir = dir;
+  } else {
+    return;  // telemetry stays disabled; zero cost beyond a relaxed load
+  }
+  telemetry::enable_all();
+  auto& tracer = telemetry::Tracer::instance();
+  tracer.set_sample_every(util::env_positive_size("TAPO_TELEMETRY_SAMPLE", 1));
+  if (const char* pkts = std::getenv("TAPO_TELEMETRY_PACKETS")) {
+    if (std::string(pkts) == "1") {
+      tracer.set_categories(telemetry::kPackets | telemetry::kControl |
+                            telemetry::kLifecycle);
+    }
+  }
+  std::printf("[telemetry] enabled; artifacts -> %s\n",
+              g_telemetry_dir.c_str());
+}
+
+void write_telemetry_artifacts() {
+  if (g_telemetry_dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(g_telemetry_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[telemetry] cannot create %s: %s\n",
+                 g_telemetry_dir.c_str(), ec.message().c_str());
+    return;
+  }
+  const auto path = [&](const char* file) {
+    return (fs::path(g_telemetry_dir) / file).string();
+  };
+  const auto& tracer = telemetry::Tracer::instance();
+  const auto& registry = telemetry::Registry::instance();
+  {
+    std::ofstream os(path("trace.json"));
+    tracer.export_chrome_trace(os);
+  }
+  {
+    std::ofstream os(path("trace.jsonl"));
+    tracer.export_jsonl(os);
+  }
+  {
+    std::ofstream os(path("metrics.prom"));
+    registry.export_prometheus(os);
+  }
+  {
+    std::ofstream os(path("metrics.json"));
+    registry.export_json(os);
+  }
+  std::printf("[telemetry] wrote trace.json trace.jsonl metrics.prom "
+              "metrics.json to %s (%llu events buffered, %llu dropped)\n",
+              g_telemetry_dir.c_str(),
+              static_cast<unsigned long long>(tracer.collect().size()),
+              static_cast<unsigned long long>(tracer.dropped()));
 }
 
 void print_perf(const std::string& label, const workload::RunStats& stats) {

@@ -8,6 +8,15 @@
 //                      for any thread count — only wall clock changes.
 // Seeds are fixed so output is reproducible. Malformed values warn and
 // fall back to the default instead of silently changing the experiment.
+//
+// Telemetry: pass --telemetry-out=<dir> (or set TAPO_TELEMETRY_OUT=<dir>)
+// to any bench to enable the tracer + metrics registry and write
+//   <dir>/trace.json    Chrome trace_event JSON (chrome://tracing, Perfetto)
+//   <dir>/trace.jsonl   one event per line, for scripting
+//   <dir>/metrics.prom  Prometheus text exposition snapshot
+//   <dir>/metrics.json  the same snapshot as JSON
+// on exit. TAPO_TELEMETRY_SAMPLE=<n> records every n-th flow only;
+// TAPO_TELEMETRY_PACKETS=1 adds the high-volume per-segment events.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,16 @@ std::size_t flows_per_service(std::size_t dflt = 400);
 
 /// Worker threads: TAPO_BENCH_THREADS env var, else `dflt` (0 = all cores).
 std::size_t bench_threads(std::size_t dflt = 1);
+
+/// Enables telemetry when --telemetry-out=<dir> appears in argv or
+/// TAPO_TELEMETRY_OUT is set (see file header). Call first in main();
+/// unknown arguments are left alone.
+void init_telemetry(int argc, char** argv);
+
+/// Writes the telemetry artifacts to the directory chosen at
+/// init_telemetry time (no-op when telemetry was never enabled). Call last
+/// in main(), after all runs have completed.
+void write_telemetry_artifacts();
 
 constexpr std::uint64_t kBenchSeed = 2015;  // CoNEXT '15
 

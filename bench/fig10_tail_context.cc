@@ -11,7 +11,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Figure 10: context for tail-retransmission stalls",
                "Fig. 10a/10b (paper §4.2)", flows);
@@ -35,5 +36,6 @@ int main() {
               " pkts");
   }
   std::printf("(paper: mostly 1 for web search; <=3 for the others)\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -9,7 +9,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Figure 11: in-flight size on each ACK",
                "Fig. 11 (paper §4.3)", flows);
@@ -26,5 +27,6 @@ int main() {
   }
   std::printf("\npaper: ~20%% of cloud/software samples below 4; ~23%% of "
               "web-search samples are exactly 1.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

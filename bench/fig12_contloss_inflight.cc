@@ -9,7 +9,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Figure 12: in-flight size at continuous-loss stalls",
                "Fig. 12 (paper §4.3)", flows);
@@ -24,5 +25,6 @@ int main() {
   }
   std::printf("\npaper: whole windows of 4 to >20 packets vanish at once "
               "(median ~5) — middlebox buffer exhaustion.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

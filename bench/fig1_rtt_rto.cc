@@ -10,7 +10,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Figure 1: distribution of RTT and RTO",
                "Fig. 1a/1b (paper §2.1)", flows);
@@ -38,5 +39,6 @@ int main() {
   }
   std::printf("\npaper shape check: avg RTO is ~1 order of magnitude above "
               "avg RTT in all services.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -9,6 +9,7 @@
 // classification of every stall — the reproduction of the paper's Fig. 2.
 #include <cstdio>
 
+#include "common.h"
 #include "net/ipv4.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
@@ -19,7 +20,8 @@
 
 using namespace tapo;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   std::printf("==================================================================\n");
   std::printf("Figure 2: anatomy of TCP stalls within one flow\n");
   std::printf("reproduces: Fig. 2 (paper §2.2)\n");
@@ -97,5 +99,6 @@ int main() {
   std::printf("\npaper shape check: one zero-window stall (~250ms), one "
               "packet-delay stall (~300ms),\nand timeout-retransmission "
               "stalls of ~1s+ dominate the flow's lifetime.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

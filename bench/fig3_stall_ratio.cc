@@ -10,7 +10,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Figure 3: ratio of stalled time to transmission time",
                "Fig. 3 (paper §2.2)", flows);
@@ -30,5 +31,6 @@ int main() {
   std::printf("\npaper: cloud 38%% / software 43%% stall at least once; "
               ">20%% of their flows stalled for half their lifetime;\n"
               "web search least affected.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

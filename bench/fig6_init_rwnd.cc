@@ -9,7 +9,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Figure 6: distribution of initial receive windows (MSS)",
                "Fig. 6 (paper §3.4)", flows);
@@ -29,5 +30,6 @@ int main() {
   std::printf("\nsoftware download flows with init rwnd < 10 MSS: %.0f%% "
               "(paper ~18%%)\n",
               soft.fraction_at_most(10.0) * 100.0);
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -10,7 +10,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Figure 7: context for double-retransmission stalls",
                "Fig. 7a/7b (paper §4.1)", flows);
@@ -33,5 +34,6 @@ int main() {
               " pkts");
   }
   std::printf("(paper medians: cloud ~5, software ~8, web smallest)\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

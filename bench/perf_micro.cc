@@ -7,6 +7,7 @@
 #include "pcap/pcap.h"
 #include "sim/simulator.h"
 #include "tapo/analyzer.h"
+#include "telemetry/telemetry.h"
 #include "util/env.h"
 #include "workload/experiment.h"
 #include "workload/runner.h"
@@ -87,6 +88,36 @@ BENCHMARK(BM_RunExperimentThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(1);
+
+// Telemetry overhead: the same single-flow simulate+analyze loop as
+// BM_SimulateOneFlow, with tracing + metrics fully off (the shipped
+// default — one relaxed load per instrumentation site) vs fully on
+// (tracer recording control+lifecycle events, registry counting).
+// Arg(0) = disabled, Arg(1) = enabled. The acceptance bar is the
+// *disabled* case: <= 2% over a build with the hooks compiled out.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  if (on) {
+    telemetry::enable_all();
+  } else {
+    telemetry::disable_and_reset_all();
+  }
+  workload::ExperimentConfig cfg;
+  cfg.profile = workload::web_search_profile();
+  analysis::Analyzer analyzer;
+  Rng master(7);
+  for (auto _ : state) {
+    Rng flow_rng = master.split();
+    const auto scenario = workload::draw_scenario(cfg.profile, flow_rng, 1);
+    const auto outcome =
+        workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0),
+                           workload::TraceCapture::kServerNic);
+    auto result = analyzer.analyze(*outcome.trace);
+    benchmark::DoNotOptimize(result.flows.size());
+  }
+  telemetry::disable_and_reset_all();
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Name("telemetry_overhead");
 
 void BM_AnalyzeTrace(benchmark::State& state) {
   const auto& trace = sample_trace();

@@ -23,7 +23,8 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Table 1: flow-level statistics of the dataset",
                "Table 1 (paper §2.1)", flows);
@@ -49,5 +50,6 @@ int main() {
     });
   }
   std::printf("%s", table.render().c_str());
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -34,7 +34,8 @@ constexpr StallCause kRows[6] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Table 3: stall breakdown by cause (volume # / time T, %)",
                "Table 3 (paper §3.4)", flows);
@@ -81,5 +82,6 @@ int main() {
               "every service;\nweb search stalls are mostly data-unavailable "
               "by volume; zero-window time is largest for software "
               "download.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

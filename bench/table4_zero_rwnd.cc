@@ -11,7 +11,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Table 4: P(zero rwnd) vs initial receive window (MSS)",
                "Table 4 (paper §3.4)", flows);
@@ -44,5 +45,6 @@ int main() {
   std::printf("%s", table.render().c_str());
   std::printf("\npaper shape check: smaller initial windows -> higher "
               "zero-window probability.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -36,7 +36,8 @@ constexpr RetransCause kRows[7] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner(
       "Table 5: timeout-retransmission stall breakdown (# / T, %)",
@@ -74,5 +75,6 @@ int main() {
               "expensive type everywhere;\ntail retransmissions matter most "
               "for web search; small-rwnd appears mainly in software "
               "download.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

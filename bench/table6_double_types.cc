@@ -10,7 +10,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Table 6: double-retransmission stall types (share of time)",
                "Table 6 (paper §4.1)", flows);
@@ -37,5 +38,6 @@ int main() {
   std::printf("%s", table.render().c_str());
   std::printf("\npaper shape check: f-double (fast retransmit lost again) "
               "contributes the majority of double-retrans stall time.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -12,7 +12,8 @@
 using namespace tapo;
 using namespace tapo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service();
   print_banner("Table 7: tail-retransmission stalls by congestion state",
                "Table 7 (paper §4.2)", flows);
@@ -37,5 +38,6 @@ int main() {
   table.add_row(open_row);
   table.add_row(rec_row);
   std::printf("%s", table.render().c_str());
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -97,7 +97,8 @@ void print_block(const char* name, const stats::Cdf& native,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service(600);
   print_banner("Table 8: latency reduction of TLP and S-RTO vs native Linux",
                "Table 8 + §5.2 (paper §5)", flows);
@@ -136,5 +137,6 @@ int main() {
   std::printf("\npaper shape checks: S-RTO >= TLP on short-flow mean latency "
               "(2x+ in the paper);\nlarge-flow throughput barely moves for "
               "either mechanism.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

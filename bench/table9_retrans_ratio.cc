@@ -27,7 +27,8 @@ double ratio_for(workload::Service svc, RecoveryMechanism mech,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tapo::bench::init_telemetry(argc, argv);
   const std::size_t flows = flows_per_service(600);
   print_banner("Table 9: retransmission packet ratio (%)",
                "Table 9 (paper §5.2)", flows);
@@ -53,5 +54,6 @@ int main() {
   std::printf("%s", t.render().c_str());
   std::printf("\npaper shape check: Linux <= TLP <= S-RTO, with S-RTO's "
               "extra retransmissions staying moderate.\n");
+  tapo::bench::write_telemetry_artifacts();
   return 0;
 }

@@ -3,7 +3,22 @@
 #include <cassert>
 #include <utility>
 
+#include "telemetry/telemetry.h"
+
 namespace tapo::sim {
+
+namespace {
+
+/// Batched event accounting: one registry add per run()/run_until() call,
+/// never per event, so the event loop's hot path is untouched.
+void count_executed(std::size_t executed) {
+  if (executed == 0 || !telemetry::metrics_enabled()) return;
+  static auto& events =
+      telemetry::Registry::instance().counter("tapo_sim_events_total");
+  events.add(executed);
+}
+
+}  // namespace
 
 EventId Simulator::schedule(Duration delay, EventFn fn) {
   if (delay < Duration::zero()) delay = Duration::zero();
@@ -49,6 +64,7 @@ std::size_t Simulator::run(std::size_t limit) {
     fn();
     ++executed;
   }
+  count_executed(executed);
   return executed;
 }
 
@@ -70,6 +86,7 @@ std::size_t Simulator::run_until(TimePoint deadline) {
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
+  count_executed(executed);
   return executed;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace tapo::analysis {
@@ -36,6 +37,39 @@ const char* to_string(RetransCause c) {
 }
 
 namespace {
+
+/// Telemetry tap for every classified stall. The per-cause counters are the
+/// ground truth the Prometheus snapshot exposes: any stall table a consumer
+/// builds from FlowAnalysis sums to exactly these totals, because both are
+/// incremented from the same classification site. The trace event packs the
+/// classification into the payload words (decoded by the Chrome exporter):
+///   a = duration in us
+///   b = cause | retrans_cause<<8 | state<<16 | f_double<<24 | in_flight<<32
+void record_stall(const StallRecord& rec) {
+  const auto dur_us = static_cast<std::uint64_t>(rec.duration.us());
+  TAPO_TRACE(telemetry::EventKind::kStallSpan, rec.start.us(), dur_us,
+             static_cast<std::uint64_t>(rec.cause) |
+                 static_cast<std::uint64_t>(rec.retrans_cause) << 8 |
+                 static_cast<std::uint64_t>(rec.state_at_stall) << 16 |
+                 static_cast<std::uint64_t>(rec.f_double) << 24 |
+                 static_cast<std::uint64_t>(rec.in_flight) << 32);
+  if (!telemetry::metrics_enabled()) return;
+  auto& registry = telemetry::Registry::instance();
+  // Not cached: stalls are rare (the registry lookup is off the hot path)
+  // and the label set varies per call.
+  const std::vector<telemetry::Label> by_cause = {
+      {"cause", to_string(rec.cause)}};
+  registry.counter("tapo_stalls_total", by_cause).add(1);
+  registry.counter("tapo_stall_time_us_total", by_cause).add(dur_us);
+  if (rec.cause == StallCause::kRetransmission) {
+    registry
+        .counter("tapo_stall_retrans_total",
+                 {{"retrans_cause", to_string(rec.retrans_cause)}})
+        .add(1);
+  }
+  static auto& duration_hist = registry.histogram("tapo_stall_duration_us");
+  duration_hist.observe(dur_us);
+}
 
 /// Per-segment state reconstructed by the mimic. Segments persist for the
 /// whole analysis (never popped) so stall classification can look ahead.
@@ -515,6 +549,7 @@ void FlowMimic::detect_and_classify(FlowAnalysis& out) {
 
     StallRecord rec = classify_stall(i, i + 1);
     out.stalled_time += rec.duration;
+    record_stall(rec);
     out.stalls.push_back(rec);
   }
   if (out.transmission_time > Duration::zero()) {

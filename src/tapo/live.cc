@@ -2,7 +2,28 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.h"
+
 namespace tapo::analysis {
+
+namespace {
+
+void count_flow_event(const char* which) {
+  if (!telemetry::metrics_enabled()) return;
+  static auto& finalized = telemetry::Registry::instance().counter(
+      "tapo_live_flows_finalized_total");
+  static auto& evicted =
+      telemetry::Registry::instance().counter("tapo_live_flows_evicted_total");
+  static auto& truncated = telemetry::Registry::instance().counter(
+      "tapo_live_flows_truncated_total");
+  switch (which[0]) {
+    case 'f': finalized.add(1); break;
+    case 'e': evicted.add(1); break;
+    case 't': truncated.add(1); break;
+  }
+}
+
+}  // namespace
 
 LiveAnalyzer::LiveAnalyzer(LiveConfig config, FlowDoneFn on_flow_done)
     : config_(config),
@@ -16,6 +37,9 @@ void LiveAnalyzer::finalize(const net::FlowKey& key) {
   lru_.erase(entry.lru_it);
   flows_.erase(it);
   ++stats_.flows_finalized;
+  TAPO_TRACE(telemetry::EventKind::kFlowFinalize,
+             entry.last_activity.us(), entry.trace.size(), flows_.size());
+  count_flow_event("finalize");
   stats_.active_flows = flows_.size();
   if (entry.trace.empty()) return;
   const auto result = analyzer_.analyze(entry.trace, config_.demux);
@@ -66,6 +90,9 @@ void LiveAnalyzer::add_packet(const net::CapturedPacket& pkt) {
   if (entry.trace.size() >= config_.max_packets_per_flow) {
     // Long-lived elephant: analyze what we have and restart the window.
     ++stats_.truncated_flows;
+    TAPO_TRACE(telemetry::EventKind::kFlowTruncate, pkt.timestamp.us(),
+               entry.trace.size(), flows_.size());
+    count_flow_event("truncate");
     finalize(key);
   }
 
@@ -74,6 +101,9 @@ void LiveAnalyzer::add_packet(const net::CapturedPacket& pkt) {
   // Table-full eviction: kick the least recently active flow.
   while (flows_.size() > config_.max_flows && !lru_.empty()) {
     ++stats_.flows_evicted;
+    TAPO_TRACE(telemetry::EventKind::kFlowEvict, pkt.timestamp.us(),
+               flows_.size(), config_.max_flows);
+    count_flow_event("evict");
     finalize(lru_.front());
   }
   stats_.active_flows = flows_.size();

@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace tapo::tcp {
+
+namespace {
+
+/// One loss event = one ssthresh() call (both CC variants reduce only there).
+void count_loss_event(const char* algo) {
+  if (!telemetry::metrics_enabled()) return;
+  static auto& reno = telemetry::Registry::instance().counter(
+      "tapo_tcp_loss_events_total", {{"cc", "reno"}});
+  static auto& cubic = telemetry::Registry::instance().counter(
+      "tapo_tcp_loss_events_total", {{"cc", "cubic"}});
+  (algo[0] == 'r' ? reno : cubic).add(1);
+}
+
+}  // namespace
 
 std::unique_ptr<CongestionControl> make_congestion_control(CcAlgo algo) {
   switch (algo) {
@@ -32,6 +48,7 @@ std::uint32_t RenoCc::on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
 }
 
 std::uint32_t RenoCc::ssthresh(std::uint32_t cwnd) {
+  count_loss_event("reno");
   return std::max<std::uint32_t>(cwnd / 2, 2);
 }
 
@@ -45,6 +62,7 @@ void CubicCc::reset() {
 void CubicCc::on_loss_event(TimePoint /*now*/) { in_epoch_ = false; }
 
 std::uint32_t CubicCc::ssthresh(std::uint32_t cwnd) {
+  count_loss_event("cubic");
   // beta_cubic = 0.7; remember W_max for the next epoch (fast convergence
   // shrinks it slightly when losses come before reaching the old W_max).
   const double c = static_cast<double>(cwnd);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace tapo::tcp {
 
 void RtoEstimator::sample(Duration rtt) {
@@ -23,6 +25,11 @@ void RtoEstimator::sample(Duration rtt) {
   // the RTO is often an order of magnitude above the RTT.
   base_rto_ = srtt_ + std::max(rttvar_ * 4, config_.min_rto);
   backoff_ = 0;
+  if (telemetry::metrics_enabled()) {
+    static auto& srtt_hist =
+        telemetry::Registry::instance().histogram("tapo_tcp_srtt_us");
+    srtt_hist.observe(static_cast<std::uint64_t>(srtt_.us()));
+  }
 }
 
 Duration RtoEstimator::rto() const {

@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace tapo::tcp {
+
+using telemetry::EventKind;
+
+void TcpSender::note_segment(const SegmentOut& out) {
+  TAPO_TRACE(EventKind::kSegmentTx, sim_.now().us(), out.seq,
+             static_cast<std::uint64_t>(out.len) |
+                 (out.retransmission ? 1ull << 63 : 0));
+  if (telemetry::metrics_enabled()) {
+    static auto& segments =
+        telemetry::Registry::instance().counter("tapo_tcp_segments_total");
+    segments.add(1);
+    if (out.retransmission) {
+      static auto& retrans = telemetry::Registry::instance().counter(
+          "tapo_tcp_retransmissions_total");
+      retrans.add(1);
+    }
+  }
+}
+
+void TcpSender::trace_window() {
+  if (!telemetry::tracing_enabled()) return;
+  if (cwnd_ != traced_cwnd_ || ssthresh_ != traced_ssthresh_) {
+    traced_cwnd_ = cwnd_;
+    traced_ssthresh_ = ssthresh_;
+    TAPO_TRACE(EventKind::kCwnd, sim_.now().us(), cwnd_, ssthresh_);
+  }
+  if (state_ != traced_state_) {
+    traced_state_ = state_;
+    TAPO_TRACE(EventKind::kCaState, sim_.now().us(),
+               static_cast<std::uint64_t>(state_), 0);
+  }
+}
 
 TcpSender::TcpSender(sim::Simulator& sim, SenderConfig config, SendSegmentFn send)
     : sim_(sim),
@@ -82,6 +115,7 @@ bool TcpSender::send_new_segment() {
     snd_nxt_ += len;
     ++stats_.segments_sent;
     stats_.bytes_sent += len;
+    note_segment(out);
     send_(out);
     return true;
   }
@@ -94,6 +128,7 @@ bool TcpSender::send_new_segment() {
     out.seq = fin_seq_;
     out.len = 0;
     out.fin = true;
+    note_segment(out);
     send_(out);
     return true;
   }
@@ -114,6 +149,7 @@ void TcpSender::retransmit(std::uint32_t seq, bool rto_retrans) {
   ++stats_.retransmissions;
   stats_.bytes_sent += out.len;
   if (!rto_retrans && state_ == CaState::kRecovery) ++stats_.fast_retransmits;
+  note_segment(out);
   send_(out);
 }
 
@@ -182,6 +218,7 @@ void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
                        const std::vector<net::SackBlock>& sack_blocks,
                        std::optional<net::SackBlock> dsack, bool carries_data) {
   if (!started_ || finished_) return;
+  TAPO_TRACE(EventKind::kAckRx, sim_.now().us(), ack, rwnd_bytes);
   const bool was_cwnd_limited = cwnd_limited_;
   const std::uint32_t prev_rwnd = rwnd_bytes_;
   rwnd_bytes_ = rwnd_bytes;
@@ -324,6 +361,7 @@ void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
     }
   }
 
+  trace_window();
   try_send();
   rearm_timer();
   check_done();
@@ -451,6 +489,13 @@ void TcpSender::fire_rto() {
     return;
   }
   ++stats_.rto_fires;
+  TAPO_TRACE(EventKind::kRtoFire, sim_.now().us(), rto_.rto().us(),
+             board_.packets_out());
+  if (telemetry::metrics_enabled()) {
+    static auto& rto_fires =
+        telemetry::Registry::instance().counter("tapo_tcp_rto_fires_total");
+    rto_fires.add(1);
+  }
   if (state_ != CaState::kLoss) {
     // Save the pre-collapse window for a potential spurious-RTO undo.
     if (config_.spurious_rto_undo) {
@@ -468,6 +513,7 @@ void TcpSender::fire_rto() {
   dupacks_ = 0;
   cwnd_ = 1;
   rto_.backoff();
+  trace_window();
   retransmit_pending_lost();  // cwnd 1 -> retransmits exactly the head
   timer_mode_ = TimerMode::kRto;
   timer_.arm(rto_.rto());
@@ -479,6 +525,13 @@ void TcpSender::fire_tlp() {
     return;
   }
   ++stats_.tlp_probes;
+  TAPO_TRACE(EventKind::kTlpProbe, sim_.now().us(), snd_nxt_,
+             board_.packets_out());
+  if (telemetry::metrics_enabled()) {
+    static auto& tlp_probes =
+        telemetry::Registry::instance().counter("tapo_tcp_tlp_probes_total");
+    tlp_probes.add(1);
+  }
   tlp_probe_outstanding_ = true;
   // Probe with new data when possible, else re-send the tail segment.
   const bool sent_new = can_send_new() && send_new_segment();
@@ -499,6 +552,13 @@ void TcpSender::fire_srto() {
   // Algorithm 1, trigger_srto: retransmit the first unacknowledged packet;
   // conditionally halve cwnd; enter Recovery; fall back to the native RTO.
   ++stats_.srto_probes;
+  TAPO_TRACE(EventKind::kSrtoProbe, sim_.now().us(), snd_una_,
+             board_.packets_out());
+  if (telemetry::metrics_enabled()) {
+    static auto& srto_probes =
+        telemetry::Registry::instance().counter("tapo_tcp_srto_probes_total");
+    srto_probes.add(1);
+  }
   const SegmentState* head = board_.first_unsacked();
   if (head != nullptr) {
     if (config_.srto.adaptive) {
@@ -516,12 +576,19 @@ void TcpSender::fire_srto() {
     high_seq_ = snd_nxt_;
     prr_ack_counter_ = 0;
   }
+  trace_window();
   timer_mode_ = TimerMode::kRto;
   timer_.arm(rto_.rto());
 }
 
 void TcpSender::fire_persist() {
   ++stats_.persist_probes;
+  TAPO_TRACE(EventKind::kPersistProbe, sim_.now().us(), snd_nxt_, rwnd_bytes_);
+  if (telemetry::metrics_enabled()) {
+    static auto& persist_probes = telemetry::Registry::instance().counter(
+        "tapo_tcp_persist_probes_total");
+    persist_probes.add(1);
+  }
   // Zero-window probe: one byte of new data keeps the connection alive and
   // solicits the receiver's current window. If the previous probe byte is
   // still unacked, re-send it instead of consuming more sequence space.
@@ -537,6 +604,7 @@ void TcpSender::fire_persist() {
     snd_nxt_ += 1;
     ++stats_.segments_sent;
     stats_.bytes_sent += 1;
+    note_segment(out);
     send_(out);
   }
   rearm_timer();

@@ -171,6 +171,9 @@ class TcpSender {
   Duration tlp_pto() const;
   Duration pacing_interval() const;
   void maybe_undo_spurious_rto(const std::optional<net::SackBlock>& dsack);
+  /// Telemetry taps (no-ops unless tracing/metrics are enabled).
+  void note_segment(const SegmentOut& out);
+  void trace_window();
 
   sim::Simulator& sim_;
   SenderConfig config_;
@@ -232,6 +235,11 @@ class TcpSender {
   SenderStats stats_;
   bool finished_ = false;
   bool started_ = false;
+  /// Last cwnd/ssthresh/state reported to the tracer (dedup for the
+  /// kCwnd/kCaState event streams).
+  std::uint32_t traced_cwnd_ = 0;
+  std::uint32_t traced_ssthresh_ = 0;
+  CaState traced_state_ = CaState::kOpen;
 };
 
 }  // namespace tapo::tcp

@@ -1,0 +1,60 @@
+// Minimal JSON support for the telemetry exporters and their validation.
+//
+// Writing: exporters emit JSON by hand (the formats are flat and hot), so
+// the only writer helper needed is string quoting/escaping. Reading: a
+// small recursive-descent parser used by the schema validator
+// (bench/telemetry_validate) and the telemetry tests to check that emitted
+// artifacts are well-formed without an external JSON dependency.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tapo::telemetry {
+
+/// Quotes and escapes `s` as a JSON string literal (including the quotes).
+std::string json_quote(const std::string& s);
+
+/// Parsed JSON value. Numbers are doubles (the telemetry formats never
+/// need 64-bit-exact integers on the read side).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool boolean() const { return bool_; }
+  double number() const { return num_; }
+  const std::string& str() const { return str_; }
+  const std::vector<Json>& array() const { return arr_; }
+  const std::map<std::string, Json>& object() const { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  static Json make_null();
+  static Json make_bool(bool b);
+  static Json make_number(double d);
+  static Json make_string(std::string s);
+  static Json make_array(std::vector<Json> a);
+  static Json make_object(std::map<std::string, Json> o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+/// Parses one JSON document. std::nullopt on any syntax error or trailing
+/// garbage; `error` (when non-null) receives a byte offset + message.
+std::optional<Json> json_parse(const std::string& text,
+                               std::string* error = nullptr);
+
+}  // namespace tapo::telemetry

@@ -1,0 +1,240 @@
+#include "telemetry/registry.h"
+
+#include <bit>
+#include <functional>
+#include <thread>
+
+#include "telemetry/json.h"
+
+namespace tapo::telemetry {
+
+namespace detail {
+
+std::size_t this_thread_cell() {
+  static thread_local const std::size_t cell =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kCells;
+  return cell;
+}
+
+namespace {
+std::uint64_t sum_cells(const std::array<PaddedCell, kCells>& cells) {
+  std::uint64_t total = 0;
+  for (const auto& c : cells) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+void zero_cells(std::array<PaddedCell, kCells>& cells) {
+  for (auto& c : cells) c.v.store(0, std::memory_order_relaxed);
+}
+}  // namespace
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const { return detail::sum_cells(cells_); }
+void Counter::reset() { detail::zero_cells(cells_); }
+
+namespace {
+/// Bucket index for a sample: 0 for v == 0, else 1 + floor(log2(v)),
+/// clamped to the overflow bucket.
+std::size_t bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  const std::size_t i = static_cast<std::size_t>(std::bit_width(v));
+  return i > Histogram::kBuckets ? Histogram::kBuckets : i;
+}
+}  // namespace
+
+void Histogram::observe(std::uint64_t v) {
+  const std::size_t cell = detail::this_thread_cell();
+  counts_[bucket_index(v)][cell].v.fetch_add(1, std::memory_order_relaxed);
+  sum_[cell].v.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= kBuckets; ++i) total += detail::sum_cells(counts_[i]);
+  return total;
+}
+
+std::uint64_t Histogram::sum() const { return detail::sum_cells(sum_); }
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  return detail::sum_cells(counts_[i]);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= kBuckets; ++i) detail::zero_cells(counts_[i]);
+  detail::zero_cells(sum_);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+std::string render_labels(const std::vector<Label>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+}  // namespace
+
+Registry::Entry& Registry::entry(const std::string& name,
+                                 std::vector<Label> labels,
+                                 MetricSample::Type type) {
+  const std::string key = name + render_labels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.name = name;
+    e.labels = std::move(labels);
+    e.type = type;
+    switch (type) {
+      case MetricSample::Type::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case MetricSample::Type::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case MetricSample::Type::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(key, std::move(e)).first;
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, std::vector<Label> labels) {
+  return *entry(name, std::move(labels), MetricSample::Type::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, std::vector<Label> labels) {
+  return *entry(name, std::move(labels), MetricSample::Type::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<Label> labels) {
+  return *entry(name, std::move(labels), MetricSample::Type::kHistogram).histogram;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.type = e.type;
+    switch (e.type) {
+      case MetricSample::Type::kCounter:
+        s.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricSample::Type::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricSample::Type::kHistogram:
+        s.hist_count = e.histogram->count();
+        s.hist_sum = e.histogram->sum();
+        s.bucket_counts.resize(Histogram::kBuckets + 1);
+        for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+          s.bucket_counts[i] = e.histogram->bucket(i);
+        }
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+const char* prom_type(MetricSample::Type t) {
+  switch (t) {
+    case MetricSample::Type::kCounter: return "counter";
+    case MetricSample::Type::kGauge: return "gauge";
+    case MetricSample::Type::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string prom_number(double v) {
+  // Counters are integral in this registry; print them without the
+  // trailing ".000000" a %f would add.
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+    return std::to_string(static_cast<std::uint64_t>(v));
+  }
+  return std::to_string(v);
+}
+}  // namespace
+
+void Registry::export_prometheus(std::ostream& os) const {
+  const auto samples = snapshot();
+  std::string last_family;
+  for (const auto& s : samples) {
+    if (s.name != last_family) {
+      os << "# TYPE " << s.name << " " << prom_type(s.type) << "\n";
+      last_family = s.name;
+    }
+    const std::string labels = render_labels(s.labels);
+    if (s.type != MetricSample::Type::kHistogram) {
+      os << s.name << labels << " " << prom_number(s.value) << "\n";
+      continue;
+    }
+    // Cumulative le buckets: le="1", "2", "4", ... then "+Inf".
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cum += s.bucket_counts[i];
+      std::vector<Label> bl = s.labels;
+      bl.push_back({"le", std::to_string(1ull << i)});
+      os << s.name << "_bucket" << render_labels(bl) << " " << cum << "\n";
+    }
+    std::vector<Label> inf = s.labels;
+    inf.push_back({"le", "+Inf"});
+    os << s.name << "_bucket" << render_labels(inf) << " " << s.hist_count << "\n";
+    os << s.name << "_sum" << labels << " " << s.hist_sum << "\n";
+    os << s.name << "_count" << labels << " " << s.hist_count << "\n";
+  }
+}
+
+void Registry::export_json(std::ostream& os) const {
+  const auto samples = snapshot();
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":" << json_quote(s.name) << ",\"type\":\""
+       << prom_type(s.type) << "\",\"labels\":{";
+    for (std::size_t i = 0; i < s.labels.size(); ++i) {
+      if (i) os << ",";
+      os << json_quote(s.labels[i].first) << ":" << json_quote(s.labels[i].second);
+    }
+    os << "}";
+    if (s.type == MetricSample::Type::kHistogram) {
+      os << ",\"count\":" << s.hist_count << ",\"sum\":" << s.hist_sum
+         << ",\"buckets\":[";
+      for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+        if (i) os << ",";
+        os << s.bucket_counts[i];
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << prom_number(s.value);
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : entries_) {
+    switch (e.type) {
+      case MetricSample::Type::kCounter: e.counter->reset(); break;
+      case MetricSample::Type::kGauge: e.gauge->reset(); break;
+      case MetricSample::Type::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace tapo::telemetry

@@ -1,0 +1,136 @@
+// Process-wide metrics registry: counters, gauges, and log-bucketed
+// histograms with Prometheus-text and JSON snapshot exporters.
+//
+// Hot-path cost model: registration (name + label lookup under a mutex)
+// happens once per call site — callers cache the returned reference in a
+// function-local static, which stays valid forever because the registry
+// zeroes metrics on reset() instead of deleting them. Recording is then a
+// relaxed atomic add into one of a small set of cache-line-padded cells
+// selected by a thread-local shard index, so concurrent workers do not
+// bounce a shared counter line.
+//
+// Snapshots sum the cells; they are linearizable enough for exporters
+// (each individual metric is exact once recording threads are quiescent,
+// which the runner's join guarantees).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tapo::telemetry {
+
+using Label = std::pair<std::string, std::string>;
+
+namespace detail {
+constexpr std::size_t kCells = 8;
+
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Stable per-thread cell index.
+std::size_t this_thread_cell();
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[detail::this_thread_cell()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  std::array<detail::PaddedCell, detail::kCells> cells_;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram over non-negative integer samples (durations in
+/// us, byte counts, ...). Bucket i counts samples with value < 2^i
+/// (cumulative export, Prometheus "le" convention); 2^kBuckets-1 and above
+/// land in the overflow bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  // le 2^0 .. 2^39 (~9 days in us)
+
+  void observe(std::uint64_t v);
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  /// Samples in bucket i, i.e. with 2^(i-1) <= v < 2^i (bucket 0: v == 0).
+  std::uint64_t bucket(std::size_t i) const;
+  void reset();
+
+ private:
+  std::array<detail::PaddedCell, detail::kCells> counts_[kBuckets + 1];
+  std::array<detail::PaddedCell, detail::kCells> sum_;
+};
+
+/// One metric's snapshot row (see Registry::snapshot).
+struct MetricSample {
+  std::string name;
+  std::vector<Label> labels;
+  enum class Type { kCounter, kGauge, kHistogram } type = Type::kCounter;
+  double value = 0.0;                         // counter / gauge
+  std::vector<std::uint64_t> bucket_counts;   // histogram, non-cumulative
+  std::uint64_t hist_count = 0, hist_sum = 0; // histogram
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers (or finds) a metric. References stay valid for the process
+  /// lifetime; cache them at the call site:
+  ///   static auto& c = Registry::instance().counter("tapo_x_total");
+  Counter& counter(const std::string& name, std::vector<Label> labels = {});
+  Gauge& gauge(const std::string& name, std::vector<Label> labels = {});
+  Histogram& histogram(const std::string& name, std::vector<Label> labels = {});
+
+  std::vector<MetricSample> snapshot() const;
+
+  /// Prometheus text exposition format (one # TYPE line per family).
+  void export_prometheus(std::ostream& os) const;
+  /// {"metrics":[{name, labels, type, value | buckets}...]}
+  void export_json(std::ostream& os) const;
+
+  /// Zeroes every metric value. Never deletes metrics, so references
+  /// cached by instrumentation sites stay valid.
+  void reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<Label> labels;
+    MetricSample::Type type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Registry() = default;
+  Entry& entry(const std::string& name, std::vector<Label> labels,
+               MetricSample::Type type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // key = name + rendered labels
+};
+
+}  // namespace tapo::telemetry

@@ -1,0 +1,31 @@
+#include "telemetry/telemetry.h"
+
+namespace tapo::telemetry {
+
+namespace detail {
+#if TAPO_TELEMETRY
+std::atomic<bool> g_metrics_enabled{false};
+#endif
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+#if TAPO_TELEMETRY
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+void enable_all() {
+  set_metrics_enabled(true);
+  Tracer::instance().set_enabled(true);
+}
+
+void disable_and_reset_all() {
+  set_metrics_enabled(false);
+  Tracer::instance().set_enabled(false);
+  Tracer::instance().reset();
+  Registry::instance().reset();
+}
+
+}  // namespace tapo::telemetry

@@ -1,11 +1,14 @@
 #include "workload/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
 
+#include "telemetry/telemetry.h"
 #include "util/worker_pool.h"
 
 namespace tapo::workload {
@@ -63,8 +66,20 @@ RunStats ParallelRunner::run(FlowSink& sink) {
   std::map<std::size_t, FlowResult> pending;
   std::size_t next_to_emit = 0;
   const std::size_t window = 8 * threads;
+  // Guards the sink/progress serialization contract (runner.h): consume()
+  // and progress() run strictly one-at-a-time under merge_mu. The assert
+  // makes a future locking regression fail loudly in debug/TSan builds.
+  std::atomic<int> merge_entrants{0};
+
+  // One run = one Chrome-trace process; flows become its threads.
+  std::uint64_t run_id = 0;
+  if (telemetry::tracing_enabled()) {
+    run_id = telemetry::Tracer::instance().begin_run(config_.profile.name);
+    TAPO_TRACE(telemetry::EventKind::kRunBegin, 0, run_id, flows);
+  }
 
   auto task = [&](std::size_t i, std::size_t worker) {
+    const telemetry::FlowScope flow_scope((run_id << 32) | i);
     if (threads > 1) {
       std::unique_lock<std::mutex> lock(merge_mu);
       // Never blocks the worker holding the lowest outstanding index, so
@@ -99,7 +114,15 @@ RunStats ParallelRunner::run(FlowSink& sink) {
     acc.simulate += seconds_between(t1, t2);
     acc.analyze += seconds_between(t2, t3);
 
+    TAPO_TRACE(telemetry::EventKind::kFlowDone,
+               static_cast<std::int64_t>(
+                   (acc.generate + acc.simulate + acc.analyze) * 1e6),
+               result.packets, result.analyses.size());
+
     std::lock_guard<std::mutex> lock(merge_mu);
+    const int entrants = merge_entrants.fetch_add(1, std::memory_order_acq_rel);
+    assert(entrants == 0 && "FlowSink/progress serialization violated");
+    (void)entrants;
     pending.emplace(i, std::move(result));
     bool advanced = false;
     while (!pending.empty() && pending.begin()->first == next_to_emit) {
@@ -109,6 +132,7 @@ RunStats ParallelRunner::run(FlowSink& sink) {
       advanced = true;
       if (options_.progress) options_.progress(next_to_emit, flows);
     }
+    merge_entrants.fetch_sub(1, std::memory_order_acq_rel);
     if (advanced && threads > 1) window_cv.notify_all();
   };
 
@@ -139,6 +163,18 @@ RunStats ParallelRunner::run(FlowSink& sink) {
     stats.flows_per_second = static_cast<double>(flows) / wall;
     stats.worker_utilization =
         std::min(1.0, busy / (static_cast<double>(threads) * wall));
+  }
+  TAPO_TRACE(telemetry::EventKind::kRunEnd,
+             static_cast<std::int64_t>(wall * 1e6), run_id, flows);
+  if (telemetry::metrics_enabled()) {
+    auto& registry = telemetry::Registry::instance();
+    static auto& flows_total = registry.counter("tapo_runner_flows_total");
+    flows_total.add(flows);
+    registry.gauge("tapo_runner_last_wall_seconds").set(wall);
+    registry.gauge("tapo_runner_last_flows_per_second")
+        .set(stats.flows_per_second);
+    registry.gauge("tapo_runner_last_worker_utilization")
+        .set(stats.worker_utilization);
   }
   sink.finish(stats);
   return stats;

@@ -16,7 +16,11 @@
 //
 // Sink contract: FlowSink::consume is invoked exactly once per flow, in
 // ascending index order, from one thread at a time (under the runner's
-// merge lock) — sinks need no internal synchronization.
+// merge lock) — sinks need no internal synchronization. The progress
+// callback runs in the same critical section, so it shares the guarantee.
+// Debug builds assert the mutual exclusion (run() keeps an entrant count
+// around the merge section), and the TSan suite exercises a sink and a
+// progress callback that mutate unsynchronized state from an 8-thread run.
 #pragma once
 
 #include <cstddef>

@@ -2,7 +2,9 @@
 // analysis, idle/FIN finalization, LRU eviction, and truncation bounds.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <vector>
 
 #include "tapo/live.h"
 #include "workload/experiment.h"
@@ -131,6 +133,90 @@ TEST(Live, ElephantFlowTruncated) {
   EXPECT_EQ(done, 2u);
   live.flush();
   EXPECT_EQ(done, 3u);
+}
+
+TEST(Live, LruEvictionOrderIsLeastRecentlyActive) {
+  LiveConfig cfg;
+  cfg.max_flows = 2;
+  std::vector<std::uint16_t> evicted_ports;
+  LiveAnalyzer live(cfg, [&](const FlowAnalysis& fa) {
+    evicted_ports.push_back(fa.key.src_port == 80 ? fa.key.dst_port
+                                                  : fa.key.src_port);
+  });
+  auto pkt = [](std::int64_t us, std::uint16_t port) {
+    net::CapturedPacket p;
+    p.timestamp = TimePoint::from_us(us);
+    p.key = {1, 2, port, 80};
+    p.payload_len = 10;
+    p.tcp.flags.ack = true;
+    return p;
+  };
+  live.add_packet(pkt(0, 1));     // flow A
+  live.add_packet(pkt(1000, 2));  // flow B
+  live.add_packet(pkt(2000, 1));  // touch A: B is now least recently active
+  live.add_packet(pkt(3000, 3));  // flow C -> evicts B, not A
+  live.add_packet(pkt(4000, 4));  // flow D -> evicts A
+  EXPECT_EQ(evicted_ports, (std::vector<std::uint16_t>{2, 1}));
+  EXPECT_EQ(live.stats().flows_evicted, 2u);
+  EXPECT_EQ(live.stats().active_flows, 2u);
+}
+
+TEST(Live, EvictedFlowStillProducesAnalysis) {
+  LiveConfig cfg;
+  cfg.max_flows = 1;
+  std::vector<FlowAnalysis> analyses;
+  LiveAnalyzer live(cfg,
+                    [&](const FlowAnalysis& fa) { analyses.push_back(fa); });
+  // Give the evicted flow real content: three data packets from the server
+  // endpoint so its analysis has observable segments.
+  for (int i = 0; i < 3; ++i) {
+    net::CapturedPacket p;
+    p.timestamp = TimePoint::from_us(i * 1000);
+    p.key = {2, 1, 80, 1000};  // server -> client
+    p.tcp.seq = static_cast<std::uint32_t>(1 + i * 100);
+    p.payload_len = 100;
+    p.tcp.flags.ack = true;
+    live.add_packet(p);
+  }
+  net::CapturedPacket other;
+  other.timestamp = TimePoint::from_us(10'000);
+  other.key = {1, 2, 2000, 80};
+  other.payload_len = 10;
+  other.tcp.flags.ack = true;
+  live.add_packet(other);  // table full -> first flow evicted
+
+  EXPECT_EQ(live.stats().flows_evicted, 1u);
+  ASSERT_EQ(analyses.size(), 1u);  // eviction went through full analysis
+  const FlowAnalysis& fa = analyses.front();
+  EXPECT_TRUE(fa.key.src_port == 80 || fa.key.dst_port == 80);
+  EXPECT_EQ(fa.data_segments, 3u);
+  EXPECT_EQ(fa.unique_bytes, 300u);
+}
+
+TEST(Live, TruncationAccounting) {
+  LiveConfig cfg;
+  cfg.max_packets_per_flow = 10;
+  std::vector<std::uint64_t> segment_counts;
+  LiveAnalyzer live(cfg, [&](const FlowAnalysis& fa) {
+    segment_counts.push_back(fa.data_segments);
+  });
+  for (int i = 0; i < 25; ++i) {
+    net::CapturedPacket p;
+    p.timestamp = TimePoint::from_us(i * 100);
+    p.key = {2, 1, 80, 1000};
+    p.tcp.seq = static_cast<std::uint32_t>(1 + i * 100);
+    p.payload_len = 100;
+    p.tcp.flags.ack = true;
+    live.add_packet(p);
+  }
+  // Cap hit at packets 10 and 20; 5 remain buffered until flush.
+  EXPECT_EQ(live.stats().truncated_flows, 2u);
+  EXPECT_EQ(live.stats().flows_finalized, 2u);
+  live.flush();
+  EXPECT_EQ(live.stats().truncated_flows, 2u);  // flush is not a truncation
+  EXPECT_EQ(live.stats().flows_finalized, 3u);
+  EXPECT_EQ(segment_counts, (std::vector<std::uint64_t>{10, 10, 5}));
+  EXPECT_EQ(live.stats().packets, 25u);
 }
 
 TEST(Live, FlushOnEmptyIsSafe) {

@@ -3,6 +3,7 @@
 // bounded-memory aggregation, trace capture, and config validation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -148,6 +149,69 @@ TEST(ParallelRunner, BreakdownSinkMatchesBufferedAggregation) {
   const auto rref = analysis::make_retrans_breakdown(buffered.analyses);
   EXPECT_EQ(sink.retrans().total_count, rref.total_count);
   EXPECT_EQ(sink.retrans().f_double_time, rref.f_double_time);
+}
+
+// The serialization contract (runner.h): consume() and the progress
+// callback run one-at-a-time under the merge lock, so plain unsynchronized
+// state is safe to mutate from either. The counters below are deliberately
+// non-atomic; the TSan build's runner_parallel_tsan entry runs this test
+// under ThreadSanitizer, which would flag any unlocked concurrent access.
+TEST(ParallelRunner, ProgressCallbackSerializedWithSink) {
+  const auto cfg = small_config(web_search_profile(), 32, 11);
+  struct PlainSink : FlowSink {
+    std::uint64_t consumed = 0;        // unsynchronized on purpose
+    std::uint64_t packets = 0;
+    void consume(FlowResult&& r) override {
+      ++consumed;
+      packets += r.packets;
+    }
+  };
+  PlainSink sink;
+  std::uint64_t progress_calls = 0;    // unsynchronized on purpose
+  std::size_t last_done = 0;
+  RunOptions options;
+  options.threads = 8;
+  options.progress = [&](std::size_t done, std::size_t) {
+    ++progress_calls;
+    EXPECT_EQ(done, last_done + 1);  // strictly sequential, never reordered
+    last_done = done;
+  };
+  ParallelRunner(cfg, options).run(sink);
+  EXPECT_EQ(sink.consumed, 32u);
+  EXPECT_EQ(progress_calls, 32u);
+  EXPECT_EQ(last_done, 32u);
+  EXPECT_GT(sink.packets, 0u);
+}
+
+TEST(ParallelRunner, BreakdownSinkShardedBitwiseEqualsSerial) {
+  // One BreakdownSink fed by an 8-thread run must equal a serial run field
+  // for field — the aggregates are integer counts and integer-us times, so
+  // "close" is not good enough.
+  const auto cfg = small_config(cloud_storage_profile(), 24, 3);
+  BreakdownSink serial;
+  ParallelRunner(cfg, {}).run(serial);
+
+  BreakdownSink sharded;
+  RunOptions options;
+  options.threads = 8;
+  ParallelRunner(cfg, options).run(sharded);
+
+  EXPECT_EQ(sharded.flows(), serial.flows());
+  EXPECT_EQ(sharded.total_packets(), serial.total_packets());
+  EXPECT_EQ(sharded.data_segments_sent(), serial.data_segments_sent());
+  EXPECT_EQ(sharded.retransmissions(), serial.retransmissions());
+  EXPECT_EQ(sharded.retrans_ratio(), serial.retrans_ratio());  // bitwise
+  for (std::size_t c = 0; c < analysis::kNumStallCauses; ++c) {
+    EXPECT_EQ(sharded.stalls().by_cause[c].count, serial.stalls().by_cause[c].count);
+    EXPECT_EQ(sharded.stalls().by_cause[c].time, serial.stalls().by_cause[c].time);
+  }
+  for (std::size_t c = 0; c < analysis::kNumRetransCauses; ++c) {
+    EXPECT_EQ(sharded.retrans().by_cause[c].count, serial.retrans().by_cause[c].count);
+    EXPECT_EQ(sharded.retrans().by_cause[c].time, serial.retrans().by_cause[c].time);
+  }
+  EXPECT_EQ(sharded.retrans().f_double_time, serial.retrans().f_double_time);
+  EXPECT_EQ(sharded.retrans().t_double_time, serial.retrans().t_double_time);
+  EXPECT_EQ(sharded.stall_ratio_cdf().count(), serial.stall_ratio_cdf().count());
 }
 
 TEST(ParallelRunner, DeriveFlowSeedsIsPureAndMatchesMasterSplits) {

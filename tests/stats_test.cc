@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "stats/cdf.h"
 #include "stats/histogram.h"
@@ -176,6 +178,36 @@ TEST(Histogram, MergeRejectsMismatchedEdges) {
   auto a = Histogram::linear(0.0, 10.0, 5);
   auto b = Histogram::linear(0.0, 10.0, 4);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
+  // Same bin count, different edges: still rejected.
+  auto c = Histogram::linear(0.0, 20.0, 5);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, MergeOfShardPartialsBitwiseEqualsSingleShot) {
+  // Counts are integers, so merged per-shard partials must equal a
+  // single-shot aggregation exactly — the invariant parallel runs rely on.
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(static_cast<double>((i * 37) % 120) / 10.0 - 1.0);
+  }
+  auto single = Histogram::logarithmic(0.1, 10.0, 8);
+  for (const double s : samples) single.add(s);
+
+  constexpr std::size_t kShards = 4;
+  std::vector<Histogram> shards(kShards, Histogram::logarithmic(0.1, 10.0, 8));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    shards[i % kShards].add(samples[i]);
+  }
+  auto merged = std::move(shards[0]);
+  for (std::size_t s = 1; s < kShards; ++s) merged.merge(shards[s]);
+
+  ASSERT_EQ(merged.bin_count(), single.bin_count());
+  for (std::size_t b = 0; b < single.bin_count(); ++b) {
+    EXPECT_EQ(merged.bin(b), single.bin(b)) << "bin " << b;
+  }
+  EXPECT_EQ(merged.underflow(), single.underflow());
+  EXPECT_EQ(merged.overflow(), single.overflow());
+  EXPECT_EQ(merged.total(), single.total());
 }
 
 TEST(Histogram, WeightedAdd) {
