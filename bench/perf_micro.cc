@@ -2,6 +2,9 @@
 // the TAPO analyzer run. Useful for sizing large trace analyses.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 
 #include "pcap/pcap.h"
@@ -14,7 +17,36 @@
 
 using namespace tapo;
 
+// ---------------------------------------------------------------------------
+// Global allocation counter, used by the copy-vs-view A/B benchmarks to
+// demonstrate that the view path does zero per-packet allocations. Relaxed
+// atomics: the benchmarks are single-threaded; we only need totals.
+// ---------------------------------------------------------------------------
 namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+struct AllocSnapshot {
+  std::uint64_t count = g_alloc_count.load(std::memory_order_relaxed);
+  std::uint64_t bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+};
 
 /// Pre-simulated trace shared by the analyzer benchmarks.
 const net::PacketTrace& sample_trace() {
@@ -119,17 +151,95 @@ void BM_TelemetryOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Name("telemetry_overhead");
 
-void BM_AnalyzeTrace(benchmark::State& state) {
-  const auto& trace = sample_trace();
-  analysis::Analyzer analyzer;
+/// A 32-flow cloud-storage trace merged into one arena — the demux and
+/// analyzer A/B benchmarks need multiple interleaved flows to be honest.
+const net::PacketTrace& multi_flow_trace() {
+  static const net::PacketTrace trace = [] {
+    workload::ExperimentConfig cfg;
+    cfg.profile = workload::cloud_storage_profile();
+    Rng master(99);
+    net::PacketTrace merged;
+    for (std::uint64_t f = 0; f < 32; ++f) {
+      Rng flow_rng = master.split();
+      const auto scenario = workload::draw_scenario(cfg.profile, flow_rng, f);
+      auto outcome = workload::run_flow(scenario, flow_rng.split(),
+                                        Duration::seconds(600.0),
+                                        workload::TraceCapture::kServerNic);
+      for (const auto& p : outcome.trace->packets()) merged.add(p);
+    }
+    merged.sort_by_time();
+    return merged;
+  }();
+  return trace;
+}
+
+/// Demux A/B: Arg(0) = copying demux_flows, Arg(1) = zero-copy
+/// demux_flow_views. Reports per-packet allocation and byte costs of each
+/// representation alongside throughput.
+void BM_Demux(benchmark::State& state) {
+  const bool view = state.range(0) != 0;
+  const auto& trace = multi_flow_trace();
+  const auto pkts = static_cast<double>(trace.size());
+  AllocSnapshot before;
+  std::uint64_t rep_bytes = 0;
   for (auto _ : state) {
-    auto result = analyzer.analyze(trace);
-    benchmark::DoNotOptimize(result.flows.size());
+    if (view) {
+      const auto views = analysis::demux_flow_views(trace);
+      rep_bytes = views.index_bytes();
+      benchmark::DoNotOptimize(views.size());
+    } else {
+      const auto flows = analysis::demux_flows(trace);
+      rep_bytes = 0;
+      for (const auto& f : flows) {
+        rep_bytes += f.packets.size() * sizeof(analysis::FlowPacket) +
+                     f.sack_pool.size() * sizeof(net::SackBlock);
+      }
+      benchmark::DoNotOptimize(flows.size());
+    }
   }
+  const AllocSnapshot after;
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_pkt"] =
+      static_cast<double>(after.count - before.count) / iters / pkts;
+  state.counters["alloc_B_per_pkt"] =
+      static_cast<double>(after.bytes - before.bytes) / iters / pkts;
+  state.counters["rep_B_per_pkt"] = static_cast<double>(rep_bytes) / pkts;
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(trace.size()));
 }
-BENCHMARK(BM_AnalyzeTrace);
+BENCHMARK(BM_Demux)->Arg(0)->Arg(1);
+
+/// Analyzer A/B over the same trace: Arg(0) = materialize owning Flows and
+/// analyze those; Arg(1) = analyze FlowViews straight off the arena (the
+/// Analyzer::analyze default). Classification output is identical by
+/// construction (shared cursor-templated mimic) and by test.
+void BM_AnalyzeTrace(benchmark::State& state) {
+  const bool view = state.range(0) != 0;
+  const auto& trace = multi_flow_trace();
+  analysis::Analyzer analyzer;
+  AllocSnapshot before;
+  for (auto _ : state) {
+    if (view) {
+      auto result = analyzer.analyze(trace);
+      benchmark::DoNotOptimize(result.flows.size());
+    } else {
+      const auto flows = analysis::demux_flows(trace);
+      std::size_t n = 0;
+      for (const auto& f : flows) n += analyzer.analyze_flow(f).stalls.size();
+      benchmark::DoNotOptimize(n);
+    }
+  }
+  const AllocSnapshot after;
+  const double iters = static_cast<double>(state.iterations());
+  const auto pkts = static_cast<double>(trace.size());
+  state.counters["allocs_per_pkt"] =
+      static_cast<double>(after.count - before.count) / iters / pkts;
+  state.counters["arena_B_per_pkt"] =
+      static_cast<double>(trace.capacity_bytes()) / pkts;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_AnalyzeTrace)->Arg(0)->Arg(1);
 
 void BM_PcapWrite(benchmark::State& state) {
   const auto& trace = sample_trace();

@@ -43,7 +43,7 @@ std::size_t TcpHeader::header_len() const {
   if (window_scale) opts += 3;
   if (sack_permitted) opts += 2;
   if (timestamps) opts += 10;
-  if (!sack_blocks.empty()) opts += 2 + 8 * std::min<std::size_t>(sack_blocks.size(), 4);
+  if (!sack_blocks.empty()) opts += 2 + 8 * sack_blocks.size();
   return kTcpMinHeaderLen + (opts + 3) / 4 * 4;
 }
 
@@ -85,7 +85,7 @@ std::size_t TcpHeader::serialize(std::span<std::uint8_t> out) const {
     off += 4;
   }
   if (!sack_blocks.empty()) {
-    const std::size_t n = std::min<std::size_t>(sack_blocks.size(), 4);
+    const std::size_t n = sack_blocks.size();
     put_u8(out, off++, kOptSack);
     put_u8(out, off++, static_cast<std::uint8_t>(2 + 8 * n));
     for (std::size_t i = 0; i < n; ++i) {

@@ -2,12 +2,19 @@
 // MSS, window scale, SACK-permitted, SACK blocks (including DSACK), and
 // timestamps. Serializes to/parses from the real wire format so simulator
 // traces round-trip through libpcap files and real captures can be analyzed.
+//
+// The header is a POD: SACK blocks live in an inline fixed-capacity
+// SackList (at most 4 blocks ever fit in the 40-byte TCP option space, even
+// when split across multiple SACK options), so a TcpHeader — and therefore
+// a CapturedPacket — is trivially copyable and never touches the heap.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <span>
-#include <vector>
+#include <type_traits>
 
 namespace tapo::net {
 
@@ -15,16 +22,19 @@ constexpr std::size_t kTcpMinHeaderLen = 20;
 constexpr std::size_t kTcpMaxHeaderLen = 60;
 
 struct TcpFlags {
-  bool fin = false;
-  bool syn = false;
-  bool rst = false;
-  bool psh = false;
-  bool ack = false;
+  // Bitfields: the whole flag set packs into one byte, which is what keeps
+  // CapturedPacket/FlowPacket records cache-dense on the analyzer hot path.
+  bool fin : 1 = false;
+  bool syn : 1 = false;
+  bool rst : 1 = false;
+  bool psh : 1 = false;
+  bool ack : 1 = false;
 
   std::uint8_t to_byte() const;
   static TcpFlags from_byte(std::uint8_t b);
   bool operator==(const TcpFlags&) const = default;
 };
+static_assert(sizeof(TcpFlags) == 1);
 
 /// One SACK block: [start, end) in sequence space.
 /// Per RFC 2883, a DSACK is signalled by the *first* block covering already
@@ -35,6 +45,52 @@ struct SackBlock {
   std::uint32_t end = 0;
   bool operator==(const SackBlock&) const = default;
 };
+
+/// Inline fixed-capacity list of SACK blocks. The 40 bytes of TCP option
+/// space bound the wire to 4 blocks total (each SACK option costs 2 bytes
+/// plus 8 per block), so the list never needs to spill; push_back beyond
+/// capacity drops the block, mirroring what a sender would do when running
+/// out of option space.
+class SackList {
+ public:
+  static constexpr std::size_t kMaxBlocks = 4;
+
+  constexpr SackList() = default;
+  SackList(std::initializer_list<SackBlock> blocks) {
+    for (const SackBlock& b : blocks) push_back(b);
+  }
+
+  /// Appends a block; returns false (and drops it) when full.
+  bool push_back(const SackBlock& b) {
+    if (count_ == kMaxBlocks) return false;
+    blocks_[count_++] = b;
+    return true;
+  }
+  void clear() { count_ = 0; }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const SackBlock& operator[](std::size_t i) const { return blocks_[i]; }
+  SackBlock& operator[](std::size_t i) { return blocks_[i]; }
+  const SackBlock* begin() const { return blocks_.data(); }
+  const SackBlock* end() const { return blocks_.data() + count_; }
+
+  std::span<const SackBlock> span() const { return {blocks_.data(), count_}; }
+  operator std::span<const SackBlock>() const { return span(); }
+
+  friend bool operator==(const SackList& a, const SackList& b) {
+    if (a.count_ != b.count_) return false;
+    for (std::size_t i = 0; i < a.count_; ++i) {
+      if (!(a.blocks_[i] == b.blocks_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<SackBlock, kMaxBlocks> blocks_{};
+  std::uint8_t count_ = 0;
+};
+static_assert(std::is_trivially_copyable_v<SackList>);
 
 struct TcpTimestamps {
   std::uint32_t value = 0;
@@ -54,7 +110,7 @@ struct TcpHeader {
   std::optional<std::uint16_t> mss;
   std::optional<std::uint8_t> window_scale;
   bool sack_permitted = false;
-  std::vector<SackBlock> sack_blocks;  // at most 4 fit on the wire
+  SackList sack_blocks;  // inline; the wire bounds this to 4 blocks
   std::optional<TcpTimestamps> timestamps;
 
   /// Size of the serialized header including options (padded to 4 bytes).
@@ -68,5 +124,8 @@ struct TcpHeader {
   static bool parse(std::span<const std::uint8_t> in, TcpHeader& out,
                     std::size_t& header_len);
 };
+static_assert(std::is_trivially_copyable_v<TcpHeader>,
+              "TcpHeader must stay a POD: CapturedPacket records are stored "
+              "in a contiguous arena and relocated with memcpy");
 
 }  // namespace tapo::net

@@ -33,11 +33,41 @@ std::size_t FlowKeyHash::operator()(const FlowKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
+CapturedPacket& PacketTrace::append() {
+  if (size_ == cap_) grow_to(size_ + 1);
+  slots_[size_] = CapturedPacket{};
+  return slots_[size_++];
+}
+
+void PacketTrace::pop_back() {
+  if (size_ > 0) --size_;
+}
+
+void PacketTrace::grow_to(std::size_t need) {
+  if (need <= cap_) return;
+  // Geometric growth; packets are relocated with a flat copy (they are
+  // trivially copyable by static_assert).
+  std::size_t new_cap = cap_ == 0 ? 64 : cap_ * 2;
+  if (new_cap < need) new_cap = need;
+  auto new_slots = std::make_unique<CapturedPacket[]>(new_cap);
+  if (size_ > 0) std::copy_n(slots_.get(), size_, new_slots.get());
+  slots_ = std::move(new_slots);
+  cap_ = new_cap;
+}
+
 void PacketTrace::sort_by_time() {
-  std::stable_sort(packets_.begin(), packets_.end(),
+  std::stable_sort(slots_.get(), slots_.get() + size_,
                    [](const CapturedPacket& a, const CapturedPacket& b) {
                      return a.timestamp < b.timestamp;
                    });
+}
+
+PacketTrace PacketTrace::clone() const {
+  PacketTrace out;
+  out.grow_to(size_);
+  if (size_ > 0) std::copy_n(slots_.get(), size_, out.slots_.get());
+  out.size_ = size_;
+  return out;
 }
 
 }  // namespace tapo::net

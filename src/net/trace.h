@@ -6,12 +6,23 @@
 // point). The analyzer never cares about payload bytes, only lengths and
 // header fields, so payloads are represented by their length alone; the pcap
 // writer synthesizes zero payload bytes of the right size.
+//
+// Memory layout: CapturedPacket is a trivially copyable POD (no heap
+// pointers — SACK blocks are inline in the TcpHeader), and a PacketTrace is
+// a contiguous arena of them. Growth relocates with a flat copy, consumers
+// read through std::span views, and whole traces move between pipeline
+// stages (simulator -> analyzer -> sink) by pointer swap, never by copying
+// packets. View lifetime rule: spans/indices into the arena stay valid
+// until the next mutating call (append/add/sort_by_time) — demux after any
+// sort, and only then hand out views.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
-#include <vector>
+#include <type_traits>
 
 #include "net/tcp_header.h"
 #include "util/time.h"
@@ -53,24 +64,74 @@ struct CapturedPacket {
   }
   bool has_payload() const { return payload_len > 0; }
 };
+static_assert(std::is_trivially_copyable_v<CapturedPacket>,
+              "CapturedPacket must stay a POD so PacketTrace can keep its "
+              "packets in a flat arena and relocate them with memcpy");
 
-/// An ordered (by capture time) sequence of packets.
+/// An ordered (by capture time) sequence of packets, stored in one
+/// contiguous arena. Move-only: whole traces are handed between pipeline
+/// stages by pointer swap; use clone() for the rare deliberate deep copy.
 class PacketTrace {
  public:
-  void add(CapturedPacket pkt) { packets_.push_back(std::move(pkt)); }
-  void reserve(std::size_t n) { packets_.reserve(n); }
+  PacketTrace() = default;
+  PacketTrace(PacketTrace&&) noexcept = default;
+  PacketTrace& operator=(PacketTrace&&) noexcept = default;
+  PacketTrace(const PacketTrace&) = delete;
+  PacketTrace& operator=(const PacketTrace&) = delete;
 
-  const std::vector<CapturedPacket>& packets() const { return packets_; }
-  std::size_t size() const { return packets_.size(); }
-  bool empty() const { return packets_.empty(); }
-  const CapturedPacket& operator[](std::size_t i) const { return packets_[i]; }
+  /// Appends a default-initialized slot and returns it for in-place
+  /// filling — the zero-copy write path used by the simulator capture
+  /// point and the pcap reader.
+  CapturedPacket& append();
+
+  void add(const CapturedPacket& pkt) { append() = pkt; }
+  void reserve(std::size_t n) { grow_to(n); }
+  /// Drops the most recently appended packet (TraceBuilder rollback).
+  void pop_back();
+
+  /// Stable view of the whole arena; valid until the next mutating call.
+  std::span<const CapturedPacket> packets() const { return {slots_.get(), size_}; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const CapturedPacket& operator[](std::size_t i) const { return slots_[i]; }
+
+  /// Arena footprint in bytes (capacity, not just size).
+  std::size_t capacity_bytes() const { return cap_ * sizeof(CapturedPacket); }
 
   /// Stable-sorts by timestamp (pcap files are usually already ordered, but
   /// multi-interface captures may interleave slightly out of order).
+  /// Invalidates any packet *indices* previously derived from this trace —
+  /// sort first, demux after.
   void sort_by_time();
 
+  /// Deliberate deep copy of the arena.
+  PacketTrace clone() const;
+
  private:
-  std::vector<CapturedPacket> packets_;
+  void grow_to(std::size_t need);
+
+  std::unique_ptr<CapturedPacket[]> slots_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+/// Append-only writer facade over a PacketTrace arena. Producers (the
+/// simulator's server-NIC capture point, the pcap readers) obtain a slot
+/// with begin_packet(), fill it in place, and either keep it or roll it
+/// back when the frame turns out not to be a TCP packet — no intermediate
+/// CapturedPacket is ever materialized outside the arena.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(PacketTrace& trace) : trace_(&trace) {}
+
+  CapturedPacket& begin_packet() { return trace_->append(); }
+  /// Discards the slot handed out by the last begin_packet().
+  void rollback_last() { trace_->pop_back(); }
+  void reserve(std::size_t n) { trace_->reserve(n); }
+  std::size_t size() const { return trace_->size(); }
+
+ private:
+  PacketTrace* trace_;
 };
 
 }  // namespace tapo::net

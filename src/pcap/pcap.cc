@@ -132,10 +132,14 @@ std::size_t link_header_for(std::uint32_t linktype) {
   }
 }
 
-/// Parses one link-layer frame into a CapturedPacket; returns false (and
-/// bumps skipped) for non-IPv4/non-TCP/truncated frames.
+/// Parses one link-layer frame straight into the trace arena: a slot is
+/// claimed from the builder, the TCP header is decoded in place, and the
+/// slot is rolled back for non-IPv4/non-TCP/truncated frames — no
+/// CapturedPacket is ever materialized outside the arena. Returns false
+/// (and bumps skipped) when the frame is rejected.
 bool parse_frame(std::span<const std::uint8_t> p, std::uint32_t linktype,
-                 std::int64_t ts_us, net::PacketTrace& trace, ReadStats& st) {
+                 std::int64_t ts_us, net::TraceBuilder& builder,
+                 ReadStats& st) {
   const std::size_t link_header = link_header_for(linktype);
   if (link_header > 0) {
     if (p.size() < link_header) {
@@ -162,19 +166,16 @@ bool parse_frame(std::span<const std::uint8_t> p, std::uint32_t linktype,
   std::span<const std::uint8_t> tcp_bytes =
       p.subspan(ip_hlen, ip_total - ip_hlen);
 
-  net::TcpHeader tcp;
+  net::CapturedPacket& cp = builder.begin_packet();
   std::size_t tcp_hlen = 0;
-  if (!net::TcpHeader::parse(tcp_bytes, tcp, tcp_hlen)) {
+  if (!net::TcpHeader::parse(tcp_bytes, cp.tcp, tcp_hlen)) {
+    builder.rollback_last();
     ++st.skipped;
     return false;
   }
-
-  net::CapturedPacket cp;
   cp.timestamp = TimePoint::from_us(ts_us);
-  cp.key = {ip.src, ip.dst, tcp.src_port, tcp.dst_port};
+  cp.key = {ip.src, ip.dst, cp.tcp.src_port, cp.tcp.dst_port};
   cp.payload_len = static_cast<std::uint32_t>(tcp_bytes.size() - tcp_hlen);
-  cp.tcp = std::move(tcp);
-  trace.add(std::move(cp));
   ++st.tcp_packets;
   return true;
 }
@@ -204,7 +205,10 @@ net::PacketTrace read_classic(ByteReader& reader,
   link_header_for(linktype);  // validate up front
 
   net::PacketTrace trace;
+  net::TraceBuilder builder(trace);
   std::array<std::uint8_t, 16> rh;
+  // Scratch frame buffer, grown once to the largest caplen seen and reused
+  // for every record — no per-packet resize/allocation in the read loop.
   std::vector<std::uint8_t> body;
   while (reader.read(rh)) {
     ++st.records;
@@ -212,15 +216,16 @@ net::PacketTrace read_classic(ByteReader& reader,
     const std::uint32_t ts_frac = load32(rh, 4, swap);
     const std::uint32_t caplen = load32(rh, 8, swap);
     if (caplen > 256 * 1024) throw std::runtime_error("pcap: absurd caplen");
-    body.resize(caplen);
-    if (!reader.read(body)) break;  // truncated final record: keep the rest
+    if (caplen > body.size()) body.resize(caplen);
+    const std::span<std::uint8_t> frame(body.data(), caplen);
+    if (!reader.read(frame)) break;  // truncated final record: keep the rest
 
     const std::int64_t frac_us =
         nsec ? static_cast<std::int64_t>(ts_frac) / 1000
              : static_cast<std::int64_t>(ts_frac);
-    parse_frame(body, linktype,
-                static_cast<std::int64_t>(ts_sec) * 1'000'000 + frac_us, trace,
-                st);
+    parse_frame(frame, linktype,
+                static_cast<std::int64_t>(ts_sec) * 1'000'000 + frac_us,
+                builder, st);
   }
   return trace;
 }
@@ -239,6 +244,7 @@ struct NgInterface {
 
 net::PacketTrace read_pcapng(ByteReader& reader, ReadStats& st) {
   net::PacketTrace trace;
+  net::TraceBuilder builder(trace);
   std::vector<NgInterface> interfaces;
   bool swap = false;
 
@@ -246,6 +252,7 @@ net::PacketTrace read_pcapng(ByteReader& reader, ReadStats& st) {
   // then loop over blocks.
   bool first_block = true;
   std::uint32_t block_type = kNgShb;
+  // Grow-only scratch block buffer, reused across records.
   std::vector<std::uint8_t> body;
 
   while (true) {
@@ -298,8 +305,8 @@ net::PacketTrace read_pcapng(ByteReader& reader, ReadStats& st) {
       throw std::runtime_error("pcapng: absurd block length");
     }
     const std::uint32_t body_len = total_len - 12;  // minus type+2*len
-    body.resize(body_len);
-    if (!reader.read(body)) break;
+    if (body_len > body.size()) body.resize(body_len);
+    if (!reader.read(std::span(body.data(), body_len))) break;
     std::array<std::uint8_t, 4> trailer;
     if (!reader.read(trailer)) break;
 
@@ -350,8 +357,8 @@ net::PacketTrace read_pcapng(ByteReader& reader, ReadStats& st) {
           if_id < interfaces.size() ? interfaces[if_id] : NgInterface{};
       const std::int64_t ts_us = static_cast<std::int64_t>(
           static_cast<double>(ts) * 1e6 / static_cast<double>(ifc.ts_per_sec));
-      parse_frame(std::span(body).subspan(20, caplen), ifc.linktype, ts_us,
-                  trace, st);
+      parse_frame(std::span<const std::uint8_t>(body.data() + 20, caplen),
+                  ifc.linktype, ts_us, builder, st);
       continue;
     }
 

@@ -1,6 +1,5 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <utility>
 
 #include "telemetry/telemetry.h"
@@ -34,31 +33,26 @@ EventId Simulator::schedule_at(TimePoint when, EventFn fn) {
 }
 
 void Simulator::cancel(EventId id) {
-  if (handlers_.count(id)) cancelled_.insert(id);
+  // The queue entry becomes a stale tombstone, dropped by peek_runnable.
+  handlers_.erase(id);
 }
 
-bool Simulator::pop_runnable(Event& ev) {
+bool Simulator::peek_runnable(HandlerMap::iterator& it) {
   while (!queue_.empty()) {
-    ev = queue_.top();
-    queue_.pop();
-    const auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      handlers_.erase(ev.id);
-      continue;
-    }
-    return true;
+    it = handlers_.find(queue_.top().id);
+    if (it != handlers_.end()) return true;
+    queue_.pop();  // cancelled: no handler left for this id
   }
   return false;
 }
 
 std::size_t Simulator::run(std::size_t limit) {
   std::size_t executed = 0;
-  Event ev;
-  while (executed < limit && pop_runnable(ev)) {
+  HandlerMap::iterator it;
+  while (executed < limit && peek_runnable(it)) {
+    const Event ev = queue_.top();
+    queue_.pop();
     now_ = ev.when;
-    auto it = handlers_.find(ev.id);
-    assert(it != handlers_.end());
     EventFn fn = std::move(it->second);
     handlers_.erase(it);
     fn();
@@ -70,16 +64,14 @@ std::size_t Simulator::run(std::size_t limit) {
 
 std::size_t Simulator::run_until(TimePoint deadline) {
   std::size_t executed = 0;
-  Event ev;
-  while (pop_runnable(ev)) {
-    if (ev.when > deadline) {
-      // Put it back; it stays pending for a later run call.
-      queue_.push(ev);
-      break;
-    }
+  HandlerMap::iterator it;
+  while (peek_runnable(it)) {
+    const Event ev = queue_.top();
+    // Beyond the deadline: leave it queued (handler intact) for a later
+    // run call — no re-push needed since we only peeked.
+    if (ev.when > deadline) break;
+    queue_.pop();
     now_ = ev.when;
-    auto it = handlers_.find(ev.id);
-    assert(it != handlers_.end());
     EventFn fn = std::move(it->second);
     handlers_.erase(it);
     fn();

@@ -4,14 +4,15 @@
 // scheduled for the same instant fire in scheduling order (FIFO), which
 // keeps runs fully deterministic. Timers are cancellable handles — TCP
 // rearms/cancels its RTO, delayed-ACK, probe and persist timers constantly,
-// so cancellation is O(1) (lazy deletion at pop time).
+// so cancellation is O(1): cancel() just erases the handler, and stale
+// queue entries (ids with no handler) are dropped lazily at pop time. The
+// handler map is the single source of truth for what is pending.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/time.h"
@@ -42,8 +43,8 @@ class Simulator {
   /// Runs events with timestamp <= deadline.
   std::size_t run_until(TimePoint deadline);
 
-  bool empty() const { return queue_.size() == cancelled_.size(); }
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  bool empty() const { return handlers_.empty(); }
+  std::size_t pending() const { return handlers_.size(); }
 
  private:
   struct Event {
@@ -56,13 +57,18 @@ class Simulator {
     }
   };
 
-  bool pop_runnable(Event& ev);
+  using HandlerMap = std::unordered_map<EventId, EventFn>;
+
+  /// Drops cancelled entries off the top of the queue until the head is a
+  /// live event (its handler iterator is returned through `it`; the event
+  /// itself stays queued so callers can peek the deadline first) or the
+  /// queue is exhausted. One hash lookup per popped entry.
+  bool peek_runnable(HandlerMap::iterator& it);
 
   TimePoint now_ = TimePoint::epoch();
   EventId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_map<EventId, EventFn> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  HandlerMap handlers_;
 };
 
 /// A self-rearming timer bound to one Simulator. Guarantees at most one

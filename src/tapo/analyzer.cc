@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <span>
 
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
@@ -116,12 +117,72 @@ struct PktAnno {
   bool is_request = false;
 };
 
+
+/// The one packet shape the mimic understands. Both cursors lower their
+/// storage to it on the fly; it is stack data plus a borrowed SACK span.
+struct PacketView {
+  TimePoint ts;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint32_t payload = 0;
+  std::uint16_t window = 0;
+  net::TcpFlags flags;
+  bool from_server = false;
+  std::span<const net::SackBlock> sacks;
+};
+
+/// Cursor over an owning Flow (compact FlowPackets + out-of-line sack pool).
+class FlowCursor {
+ public:
+  explicit FlowCursor(const Flow& flow) : flow_(&flow) {}
+  const FlowMeta& meta() const { return *flow_; }
+  std::size_t size() const { return flow_->packets.size(); }
+  PacketView at(std::size_t i) const {
+    const FlowPacket& p = flow_->packets[i];
+    return {p.ts,          p.seq,    p.ack,          p.payload,
+            p.window,      p.flags,  p.from_server,  flow_->sacks_of(p)};
+  }
+
+ private:
+  const Flow* flow_;
+};
+
+/// Cursor over a non-owning FlowView: reads CapturedPackets straight from
+/// the PacketTrace arena; nothing per packet is materialized anywhere.
+class ViewCursor {
+ public:
+  explicit ViewCursor(const FlowView& view) : view_(&view) {}
+  const FlowMeta& meta() const { return *view_; }
+  std::size_t size() const { return view_->size(); }
+  PacketView at(std::size_t i) const {
+    const net::CapturedPacket& cp = view_->packet(i);
+    return {cp.timestamp,
+            cp.tcp.seq,
+            cp.tcp.ack,
+            cp.payload_len,
+            cp.tcp.window,
+            cp.tcp.flags,
+            cp.key == view_->server_to_client,
+            cp.tcp.sack_blocks.span()};
+  }
+
+ private:
+  const FlowView* view_;
+};
+
+/// The TCP-stack mimic + stall classifier, generic over packet storage:
+/// instantiated with FlowCursor (owning path) and ViewCursor (zero-copy
+/// path) so both run byte-identical classification code.
+template <typename Cursor>
 class FlowMimic {
  public:
-  FlowMimic(const Flow& flow, const AnalyzerConfig& config)
-      : flow_(flow), config_(config), rto_(config.rto) {
-    snd_nxt_ = flow.server_isn + 1;
-    snd_una_ = flow.server_isn + 1;
+  FlowMimic(Cursor cursor, const AnalyzerConfig& config)
+      : cursor_(cursor),
+        meta_(cursor.meta()),
+        config_(config),
+        rto_(config.rto) {
+    snd_nxt_ = meta_.server_isn + 1;
+    snd_una_ = meta_.server_isn + 1;
     head_seqs_.insert(snd_nxt_);  // the first response starts the stream
   }
 
@@ -132,8 +193,8 @@ class FlowMimic {
   std::uint32_t packets_out() const;
   std::uint32_t in_flight() const;
   void mark_lost_by_sack();
-  void process_server_packet(const FlowPacket& p, PktAnno& a);
-  void process_client_packet(const FlowPacket& p, PktAnno& a,
+  void process_server_packet(const PacketView& p, PktAnno& a);
+  void process_client_packet(const PacketView& p, PktAnno& a,
                              FlowAnalysis& out);
   void snapshot(PktAnno& a) const;
   void detect_and_classify(FlowAnalysis& out);
@@ -142,7 +203,8 @@ class FlowMimic {
                                 TimePoint stall_start, bool& f_double) const;
   std::uint32_t response_end_for(const SegMimic& seg) const;
 
-  const Flow& flow_;
+  const Cursor cursor_;
+  const FlowMeta& meta_;
   const AnalyzerConfig& config_;
   tcp::RtoEstimator rto_;
 
@@ -170,7 +232,8 @@ class FlowMimic {
   std::uint64_t rto_sample_count_ = 0;
 };
 
-SegMimic* FlowMimic::find_seg(std::uint32_t seq) {
+template <typename Cursor>
+SegMimic* FlowMimic<Cursor>::find_seg(std::uint32_t seq) {
   // Segments are sorted by start; binary search for the containing one.
   auto it = std::upper_bound(
       segs_.begin(), segs_.end(), seq,
@@ -180,7 +243,8 @@ SegMimic* FlowMimic::find_seg(std::uint32_t seq) {
   return (seq >= it->start && seq < it->end) ? &*it : nullptr;
 }
 
-std::uint32_t FlowMimic::packets_out() const {
+template <typename Cursor>
+std::uint32_t FlowMimic<Cursor>::packets_out() const {
   std::uint32_t n = 0;
   for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
     if (!segs_[i].acked) ++n;
@@ -188,7 +252,8 @@ std::uint32_t FlowMimic::packets_out() const {
   return n;
 }
 
-std::uint32_t FlowMimic::in_flight() const {
+template <typename Cursor>
+std::uint32_t FlowMimic<Cursor>::in_flight() const {
   // Eq. 1: packets_out + retrans_out - (sacked_out + lost_out).
   std::uint32_t out = 0, retrans = 0, sacked = 0, lost = 0;
   for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
@@ -204,7 +269,8 @@ std::uint32_t FlowMimic::in_flight() const {
   return total > gone ? total - gone : 0;
 }
 
-void FlowMimic::mark_lost_by_sack() {
+template <typename Cursor>
+void FlowMimic<Cursor>::mark_lost_by_sack() {
   std::uint32_t sacked_above = 0;
   for (std::size_t i = segs_.size(); i-- > first_unacked_idx_;) {
     SegMimic& s = segs_[i];
@@ -218,7 +284,8 @@ void FlowMimic::mark_lost_by_sack() {
   }
 }
 
-void FlowMimic::snapshot(PktAnno& a) const {
+template <typename Cursor>
+void FlowMimic<Cursor>::snapshot(PktAnno& a) const {
   a.state = state_;
   a.in_flight = in_flight();
   a.outstanding = packets_out();
@@ -230,7 +297,9 @@ void FlowMimic::snapshot(PktAnno& a) const {
   a.established = established_;
 }
 
-void FlowMimic::process_server_packet(const FlowPacket& p, PktAnno& a) {
+template <typename Cursor>
+void FlowMimic<Cursor>::process_server_packet(const PacketView& p,
+                                              PktAnno& a) {
   const std::uint32_t eff_len = p.payload + (p.flags.fin ? 1u : 0u);
   if (p.flags.syn) {
     synack_ts_ = p.ts;
@@ -302,7 +371,8 @@ void FlowMimic::process_server_packet(const FlowPacket& p, PktAnno& a) {
   }
 }
 
-void FlowMimic::process_client_packet(const FlowPacket& p, PktAnno& a,
+template <typename Cursor>
+void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
                                       FlowAnalysis& out) {
   if (p.flags.syn) return;
   if (!established_) established_ = true;
@@ -315,7 +385,7 @@ void FlowMimic::process_client_packet(const FlowPacket& p, PktAnno& a,
     out.rtt_samples_us.push_back(static_cast<double>(rtt.us()));
   }
 
-  rwnd_scaled_ = static_cast<std::uint32_t>(p.window) << flow_.client_wscale;
+  rwnd_scaled_ = static_cast<std::uint32_t>(p.window) << meta_.client_wscale;
   if (rwnd_scaled_ == 0) out.had_zero_rwnd = true;
 
   if (p.payload > 0) {
@@ -455,21 +525,22 @@ void FlowMimic::process_client_packet(const FlowPacket& p, PktAnno& a,
   (void)newly_sacked;
 }
 
-std::uint32_t FlowMimic::response_end_for(const SegMimic& seg) const {
+template <typename Cursor>
+std::uint32_t FlowMimic<Cursor>::response_end_for(const SegMimic& seg) const {
   auto it = head_seqs_.upper_bound(seg.start);
   if (it != head_seqs_.end()) return *it;
   return snd_nxt_;  // final: end of everything the server sent
 }
 
-void FlowMimic::run(FlowAnalysis& out) {
-  out.key = flow_.server_to_client;
-  out.init_rwnd_bytes = flow_.init_rwnd_bytes;
-  out.init_rwnd_mss =
-      flow_.mss ? flow_.init_rwnd_bytes / flow_.mss : 0;
+template <typename Cursor>
+void FlowMimic<Cursor>::run(FlowAnalysis& out) {
+  out.key = meta_.server_to_client;
+  out.init_rwnd_bytes = meta_.init_rwnd_bytes;
+  out.init_rwnd_mss = meta_.mss ? meta_.init_rwnd_bytes / meta_.mss : 0;
 
-  annos_.resize(flow_.packets.size());
-  for (std::size_t i = 0; i < flow_.packets.size(); ++i) {
-    const FlowPacket& p = flow_.packets[i];
+  annos_.resize(cursor_.size());
+  for (std::size_t i = 0; i < cursor_.size(); ++i) {
+    const PacketView p = cursor_.at(i);
     PktAnno& a = annos_[i];
     if (p.from_server) {
       process_server_packet(p, a);
@@ -500,9 +571,9 @@ void FlowMimic::run(FlowAnalysis& out) {
   }
 
   // Transfer-level metrics.
-  if (!flow_.packets.empty()) {
+  if (cursor_.size() > 0) {
     out.transmission_time =
-        flow_.packets.back().ts - flow_.packets.front().ts;
+        cursor_.at(cursor_.size() - 1).ts - cursor_.at(0).ts;
   }
   for (const auto& s : segs_) out.unique_bytes += s.len();
   if (!out.rtt_samples_us.empty()) {
@@ -525,9 +596,9 @@ void FlowMimic::run(FlowAnalysis& out) {
   // Average speed over the *active* data phase: first payload transmission
   // to flow end, minus stalled time — i.e. the transfer rate the service
   // delivers while actually moving data.
-  if (!segs_.empty() && !flow_.packets.empty()) {
+  if (!segs_.empty() && cursor_.size() > 0) {
     const Duration data_phase =
-        flow_.packets.back().ts - segs_.front().tx_times.front();
+        cursor_.at(cursor_.size() - 1).ts - segs_.front().tx_times.front();
     // Stalls that straddle the start of the data phase (e.g. a back-end
     // fetch ending in the first data packet) can push `active` to zero;
     // fall back to the raw data-phase rate then.
@@ -539,11 +610,16 @@ void FlowMimic::run(FlowAnalysis& out) {
   }
 }
 
-void FlowMimic::detect_and_classify(FlowAnalysis& out) {
-  for (std::size_t i = 0; i + 1 < flow_.packets.size(); ++i) {
+template <typename Cursor>
+void FlowMimic<Cursor>::detect_and_classify(FlowAnalysis& out) {
+  if (cursor_.size() == 0) return;
+  TimePoint prev_ts = cursor_.at(0).ts;
+  for (std::size_t i = 0; i + 1 < cursor_.size(); ++i) {
+    const TimePoint cur_ts = cursor_.at(i + 1).ts;
+    const Duration gap = cur_ts - prev_ts;
+    prev_ts = cur_ts;
     const PktAnno& prev = annos_[i];
     if (!prev.established || !prev.has_srtt) continue;
-    const Duration gap = flow_.packets[i + 1].ts - flow_.packets[i].ts;
     const Duration thresh = std::min(prev.srtt * config_.tau, prev.rto);
     if (gap <= thresh) continue;
 
@@ -557,13 +633,14 @@ void FlowMimic::detect_and_classify(FlowAnalysis& out) {
   }
 }
 
-StallRecord FlowMimic::classify_stall(std::size_t prev_idx,
+template <typename Cursor>
+StallRecord FlowMimic<Cursor>::classify_stall(std::size_t prev_idx,
                                       std::size_t cur_idx) const {
   const PktAnno& prev = annos_[prev_idx];
   const PktAnno& cur = annos_[cur_idx];
   StallRecord rec;
-  rec.start = flow_.packets[prev_idx].ts;
-  rec.end = flow_.packets[cur_idx].ts;
+  rec.start = cursor_.at(prev_idx).ts;
+  rec.end = cursor_.at(cur_idx).ts;
   rec.duration = rec.end - rec.start;
   rec.state_at_stall = prev.state;
   rec.in_flight = prev.in_flight;
@@ -619,7 +696,8 @@ StallRecord FlowMimic::classify_stall(std::size_t prev_idx,
   return rec;
 }
 
-RetransCause FlowMimic::classify_retrans(const PktAnno& prev,
+template <typename Cursor>
+RetransCause FlowMimic<Cursor>::classify_retrans(const PktAnno& prev,
                                          const PktAnno& cur,
                                          TimePoint stall_start,
                                          bool& f_double) const {
@@ -643,7 +721,7 @@ RetransCause FlowMimic::classify_retrans(const PktAnno& prev,
   //    cannot generate enough dupacks (§4.2).
   const std::uint32_t resp_end = response_end_for(seg);
   const std::uint32_t tail_zone =
-      config_.dupthres * static_cast<std::uint32_t>(flow_.mss);
+      config_.dupthres * static_cast<std::uint32_t>(meta_.mss);
   if (genuinely_lost && resp_end - seg.end < tail_zone) {
     return RetransCause::kTailRetrans;
   }
@@ -652,7 +730,7 @@ RetransCause FlowMimic::classify_retrans(const PktAnno& prev,
   //      attribute to whichever of cwnd / rwnd was the limit.
   if (genuinely_lost && prev.in_flight < config_.small_inflight) {
     const std::uint64_t cwnd_bytes =
-        static_cast<std::uint64_t>(prev.cwnd_est) * flow_.mss;
+        static_cast<std::uint64_t>(prev.cwnd_est) * meta_.mss;
     if (cwnd_bytes <= prev.rwnd_scaled) return RetransCause::kSmallCwnd;
     return RetransCause::kSmallRwnd;
   }
@@ -695,7 +773,14 @@ RetransCause FlowMimic::classify_retrans(const PktAnno& prev,
 
 FlowAnalysis Analyzer::analyze_flow(const Flow& flow) const {
   FlowAnalysis out;
-  FlowMimic mimic(flow, config_);
+  FlowMimic<FlowCursor> mimic(FlowCursor(flow), config_);
+  mimic.run(out);
+  return out;
+}
+
+FlowAnalysis Analyzer::analyze_flow(const FlowView& view) const {
+  FlowAnalysis out;
+  FlowMimic<ViewCursor> mimic(ViewCursor(view), config_);
   mimic.run(out);
   return out;
 }
@@ -703,10 +788,10 @@ FlowAnalysis Analyzer::analyze_flow(const Flow& flow) const {
 AnalysisResult Analyzer::analyze(const net::PacketTrace& trace,
                                  const DemuxOptions& demux) const {
   AnalysisResult result;
-  const auto flows = demux_flows(trace, demux);
-  result.flows.reserve(flows.size());
-  for (const auto& flow : flows) {
-    result.flows.push_back(analyze_flow(flow));
+  const FlowViewSet views = demux_flow_views(trace, demux);
+  result.flows.reserve(views.size());
+  for (const FlowView& view : views) {
+    result.flows.push_back(analyze_flow(view));
   }
   return result;
 }

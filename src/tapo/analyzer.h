@@ -66,7 +66,8 @@ struct StallRecord {
   std::uint32_t in_flight = 0;
   /// Retransmitted packet index / data packets in flow (Fig. 7a / 10a).
   double rel_position = 0.0;
-  /// Index (into Flow::packets) of the packet that ended the stall.
+  /// Index (into the flow's packet sequence — Flow::packets or a
+  /// FlowView's packet_indices positions) of the packet ending the stall.
   std::size_t cur_pkt_index = 0;
 };
 
@@ -127,8 +128,14 @@ class Analyzer {
  public:
   explicit Analyzer(AnalyzerConfig config = {}) : config_(config) {}
 
+  /// Both overloads run the identical mimic/classifier over a packet
+  /// cursor; the Flow one reads owned FlowPackets, the FlowView one reads
+  /// the PacketTrace arena in place (zero-copy).
   FlowAnalysis analyze_flow(const Flow& flow) const;
+  FlowAnalysis analyze_flow(const FlowView& view) const;
 
+  /// Demuxes with demux_flow_views and analyzes each view in place — no
+  /// per-flow packet copies anywhere on this path.
   AnalysisResult analyze(const net::PacketTrace& trace,
                          const DemuxOptions& demux = {}) const;
 

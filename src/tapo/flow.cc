@@ -5,96 +5,158 @@
 namespace tapo::analysis {
 namespace {
 
-struct Builder {
+// Per-flow accumulator for the demux pass. Holds tallies only — packet
+// membership is recorded as slot ids in a side array and scattered into
+// the index pool afterwards, so demux cost is O(packets) with no per-flow
+// pointer vectors.
+struct Accum {
   net::FlowKey canonical;
-  std::vector<const net::CapturedPacket*> pkts;
+  std::uint32_t count = 0;
+  std::uint32_t offset = 0;  // filled by the prefix-sum pass
   // Per-endpoint bookkeeping keyed by "is packet's src == canonical.src".
   std::uint64_t payload_a = 0, payload_b = 0;
   bool synack_from_a = false, synack_from_b = false;
 };
 
+// Folds one packet's header facts into the flow meta. Shared by the view
+// demux (reading the arena) and kept deliberately orientation-only: the
+// caller decides from_server.
+void fold_meta(FlowMeta& m, const net::CapturedPacket& cp, bool from_server) {
+  const net::TcpHeader& tcp = cp.tcp;
+  if (tcp.flags.syn && !tcp.flags.ack && !from_server) {
+    m.saw_syn = true;
+    m.client_isn = tcp.seq;
+    m.syn_window = tcp.window;
+    if (tcp.mss) m.mss = *tcp.mss;
+    m.sack_permitted = tcp.sack_permitted;
+    m.client_wscale = tcp.window_scale.value_or(0);
+  } else if (tcp.flags.syn && tcp.flags.ack && from_server) {
+    m.saw_synack = true;
+    m.server_isn = tcp.seq;
+  } else if (!from_server && m.init_rwnd_bytes == 0 && m.saw_synack &&
+             tcp.flags.ack && !tcp.flags.syn) {
+    m.init_rwnd_bytes = static_cast<std::uint32_t>(tcp.window)
+                        << m.client_wscale;
+  }
+  if (tcp.flags.fin) m.saw_fin = true;
+  if (from_server) {
+    m.server_payload_bytes += cp.payload_len;
+  } else {
+    m.client_payload_bytes += cp.payload_len;
+  }
+}
+
 }  // namespace
 
-std::vector<Flow> demux_flows(const net::PacketTrace& trace,
-                              const DemuxOptions& opts) {
-  std::unordered_map<net::FlowKey, Builder, net::FlowKeyHash> table;
-  std::vector<net::FlowKey> order;  // stable output order
+FlowViewSet demux_flow_views(const net::PacketTrace& trace,
+                             const DemuxOptions& opts) {
+  const std::span<const net::CapturedPacket> pkts = trace.packets();
 
-  for (const auto& pkt : trace.packets()) {
+  // Pass 1: hash each packet's canonical key to a flow slot (first-seen
+  // order), tallying counts and orientation evidence. slot_of remembers
+  // each packet's flow so pass 3 never rehashes.
+  std::unordered_map<net::FlowKey, std::uint32_t, net::FlowKeyHash> table;
+  std::vector<Accum> accums;
+  std::vector<std::uint32_t> slot_of(pkts.size());
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    const net::CapturedPacket& pkt = pkts[i];
     const net::FlowKey canon = pkt.key.canonical();
-    auto [it, inserted] = table.try_emplace(canon);
+    auto [it, inserted] =
+        table.try_emplace(canon, static_cast<std::uint32_t>(accums.size()));
     if (inserted) {
-      it->second.canonical = canon;
-      order.push_back(canon);
+      accums.emplace_back();
+      accums.back().canonical = canon;
     }
-    Builder& b = it->second;
-    b.pkts.push_back(&pkt);
+    Accum& a = accums[it->second];
+    slot_of[i] = it->second;
+    ++a.count;
     const bool from_a = pkt.key == canon;
     if (from_a) {
-      b.payload_a += pkt.payload_len;
-      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) b.synack_from_a = true;
+      a.payload_a += pkt.payload_len;
+      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) a.synack_from_a = true;
     } else {
-      b.payload_b += pkt.payload_len;
-      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) b.synack_from_b = true;
+      a.payload_b += pkt.payload_len;
+      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) a.synack_from_b = true;
     }
   }
 
-  std::vector<Flow> flows;
-  flows.reserve(order.size());
-  for (const auto& key : order) {
-    Builder& b = table.at(key);
-    if (b.pkts.size() < opts.min_packets) continue;
+  // Pass 2: prefix-sum the counts into pool offsets (every flow gets a
+  // segment; below-min flows are simply never wrapped in a view).
+  FlowViewSet out;
+  out.index_pool_.resize(pkts.size());
+  std::uint32_t running = 0;
+  for (Accum& a : accums) {
+    a.offset = running;
+    running += a.count;
+  }
+
+  // Pass 3: scatter packet indices into each flow's segment, preserving
+  // capture order within the flow.
+  {
+    std::vector<std::uint32_t> cursor(accums.size());
+    for (std::size_t i = 0; i < accums.size(); ++i) {
+      cursor[i] = accums[i].offset;
+    }
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      out.index_pool_[cursor[slot_of[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Pass 4: orient each kept flow and walk its segment once to extract the
+  // handshake/transfer meta.
+  out.flows_.reserve(accums.size());
+  for (const Accum& a : accums) {
+    if (a.count < opts.min_packets) continue;
 
     // Decide which endpoint is the server.
     bool server_is_a;
     if (opts.server_port != 0) {
-      server_is_a = b.canonical.src_port == opts.server_port;
-    } else if (b.synack_from_a != b.synack_from_b) {
-      server_is_a = b.synack_from_a;
+      server_is_a = a.canonical.src_port == opts.server_port;
+    } else if (a.synack_from_a != a.synack_from_b) {
+      server_is_a = a.synack_from_a;
     } else {
-      server_is_a = b.payload_a >= b.payload_b;
+      server_is_a = a.payload_a >= a.payload_b;
     }
 
+    FlowView view;
+    view.server_to_client = server_is_a ? a.canonical : a.canonical.reversed();
+    view.trace = &trace;
+    view.packet_indices = std::span<const std::uint32_t>(out.index_pool_)
+                              .subspan(a.offset, a.count);
+    for (std::uint32_t idx : view.packet_indices) {
+      const net::CapturedPacket& cp = trace[idx];
+      fold_meta(view, cp, cp.key == view.server_to_client);
+    }
+    if (view.init_rwnd_bytes == 0) view.init_rwnd_bytes = view.syn_window;
+    out.flows_.push_back(view);
+  }
+  return out;
+}
+
+std::vector<Flow> demux_flows(const net::PacketTrace& trace,
+                              const DemuxOptions& opts) {
+  const FlowViewSet views = demux_flow_views(trace, opts);
+
+  std::vector<Flow> flows;
+  flows.reserve(views.size());
+  for (const FlowView& view : views) {
     Flow flow;
-    flow.server_to_client =
-        server_is_a ? b.canonical : b.canonical.reversed();
-    flow.packets.reserve(b.pkts.size());
-
-    for (const net::CapturedPacket* cp : b.pkts) {
-      FlowPacket fp;
-      fp.ts = cp->timestamp;
-      fp.from_server = cp->key == flow.server_to_client;
-      fp.seq = cp->tcp.seq;
-      fp.ack = cp->tcp.ack;
-      fp.payload = cp->payload_len;
-      fp.flags = cp->tcp.flags;
-      fp.window = cp->tcp.window;
-      fp.sacks = cp->tcp.sack_blocks;
-
-      if (fp.flags.syn && !fp.flags.ack && !fp.from_server) {
-        flow.saw_syn = true;
-        flow.client_isn = fp.seq;
-        flow.syn_window = fp.window;
-        if (cp->tcp.mss) flow.mss = *cp->tcp.mss;
-        flow.sack_permitted = cp->tcp.sack_permitted;
-        flow.client_wscale = cp->tcp.window_scale.value_or(0);
-      } else if (fp.flags.syn && fp.flags.ack && fp.from_server) {
-        flow.saw_synack = true;
-        flow.server_isn = fp.seq;
-      } else if (!fp.from_server && flow.init_rwnd_bytes == 0 &&
-                 flow.saw_synack && fp.flags.ack && !fp.flags.syn) {
-        flow.init_rwnd_bytes = static_cast<std::uint32_t>(fp.window)
-                               << flow.client_wscale;
+    static_cast<FlowMeta&>(flow) = view;  // meta is already extracted
+    flow.packets.reserve(view.size());
+    for (std::uint32_t idx : view.packet_indices) {
+      const net::CapturedPacket& cp = trace[idx];
+      FlowPacket& fp = flow.append_packet();
+      fp.ts = cp.timestamp;
+      fp.from_server = cp.key == flow.server_to_client;
+      fp.seq = cp.tcp.seq;
+      fp.ack = cp.tcp.ack;
+      fp.payload = cp.payload_len;
+      fp.flags = cp.tcp.flags;
+      fp.window = cp.tcp.window;
+      for (const net::SackBlock& b : cp.tcp.sack_blocks) {
+        flow.append_sack(b);
       }
-      if (fp.flags.fin) flow.saw_fin = true;
-      if (fp.from_server) {
-        flow.server_payload_bytes += fp.payload;
-      } else {
-        flow.client_payload_bytes += fp.payload;
-      }
-      flow.packets.push_back(std::move(fp));
     }
-    if (flow.init_rwnd_bytes == 0) flow.init_rwnd_bytes = flow.syn_window;
     flows.push_back(std::move(flow));
   }
   return flows;

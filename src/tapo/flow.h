@@ -2,9 +2,23 @@
 // per-connection flows oriented server->client, and extracts the handshake
 // parameters TAPO's classifier needs (MSS, SACK permission, window scale,
 // initial receive window — Table 2's "receiver side" category).
+//
+// Two representations share one extraction pass:
+//  - FlowView (preferred, zero-copy): per-flow spans of packet *indices*
+//    into the PacketTrace arena, produced by demux_flow_views. Nothing per
+//    packet is copied; the analyzer reads the arena through a cursor.
+//  - Flow (owning): compact FlowPacket records copied out of the trace,
+//    produced by demux_flows — now a thin adapter over the view demux.
+//    Kept for callers that outlive the trace (and for hand-built tests).
+//
+// View lifetime rule: a FlowView borrows both the PacketTrace arena and the
+// FlowViewSet index pool; it is valid until either is mutated or destroyed.
+// PacketTrace::sort_by_time permutes indices, so sort first, demux after.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "net/trace.h"
@@ -12,25 +26,35 @@
 namespace tapo::analysis {
 
 /// One packet of a reconstructed flow, reduced to the fields the analyzer
-/// uses. `from_server` orients the packet relative to the data sender.
+/// uses. Trivially copyable and 32 bytes (half the legacy record): flags
+/// pack into one byte and SACK blocks live out-of-line in the owning
+/// Flow's sack pool (most packets carry none), addressed by offset+count.
 struct FlowPacket {
   TimePoint ts;
-  bool from_server = false;
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
   std::uint32_t payload = 0;
+  std::uint32_t sack_offset = 0;  // into Flow::sack_pool
+  std::uint16_t window = 0;       // raw field (unscaled)
   net::TcpFlags flags;
-  std::uint32_t window = 0;  // raw field (unscaled)
-  std::vector<net::SackBlock> sacks;
+  std::uint8_t sack_count = 0;
+  /// Orients the packet relative to the data sender.
+  bool from_server = false;
 
   std::uint32_t end_seq() const {
     return seq + payload + (flags.syn ? 1u : 0u) + (flags.fin ? 1u : 0u);
   }
 };
+static_assert(std::is_trivially_copyable_v<FlowPacket>,
+              "FlowPacket must stay a POD for flat per-flow storage");
+static_assert(sizeof(FlowPacket) <= 32,
+              "FlowPacket is the per-packet cost of the owning path; keep "
+              "it at half the legacy (heap-backed) record size");
 
-struct Flow {
+/// Flow-level handshake/transfer facts shared by the owning Flow and the
+/// non-owning FlowView, so both run the same classification code.
+struct FlowMeta {
   net::FlowKey server_to_client;  // orientation key (server is src)
-  std::vector<FlowPacket> packets;
 
   bool saw_syn = false;
   bool saw_synack = false;
@@ -52,6 +76,44 @@ struct Flow {
   std::uint64_t client_payload_bytes = 0;
 };
 
+struct Flow : FlowMeta {
+  std::vector<FlowPacket> packets;
+  /// Out-of-line SACK storage: each packet's blocks are contiguous at
+  /// [sack_offset, sack_offset + sack_count).
+  std::vector<net::SackBlock> sack_pool;
+
+  /// Appends a packet whose sack range starts at the current pool end.
+  FlowPacket& append_packet() {
+    FlowPacket p;
+    p.sack_offset = static_cast<std::uint32_t>(sack_pool.size());
+    packets.push_back(p);
+    return packets.back();
+  }
+  /// Appends one SACK block to the most recently appended packet. Must be
+  /// called before the next append_packet() so pool ranges stay contiguous.
+  void append_sack(const net::SackBlock& b) {
+    sack_pool.push_back(b);
+    ++packets.back().sack_count;
+  }
+  std::span<const net::SackBlock> sacks_of(const FlowPacket& p) const {
+    return std::span<const net::SackBlock>(sack_pool)
+        .subspan(p.sack_offset, p.sack_count);
+  }
+};
+
+/// Non-owning flow: a span of packet indices into the demuxed PacketTrace.
+/// Packets keep capture order. Borrowed storage — see the lifetime rule in
+/// the file comment.
+struct FlowView : FlowMeta {
+  const net::PacketTrace* trace = nullptr;
+  std::span<const std::uint32_t> packet_indices;
+
+  std::size_t size() const { return packet_indices.size(); }
+  const net::CapturedPacket& packet(std::size_t i) const {
+    return (*trace)[packet_indices[i]];
+  }
+};
+
 struct DemuxOptions {
   /// The server's port; 0 auto-detects (the endpoint that sent a SYN-ACK,
   /// falling back to the endpoint with more payload bytes).
@@ -60,7 +122,45 @@ struct DemuxOptions {
   std::size_t min_packets = 1;
 };
 
-/// Splits `trace` into flows. Packets within a flow keep capture order.
+/// Result of a view-based demux: the per-flow views plus the index pool
+/// they point into. Movable (spans chase the pool's heap buffer); not
+/// copyable — copying would silently duplicate the pool while the views
+/// keep pointing at the original.
+class FlowViewSet {
+ public:
+  FlowViewSet() = default;
+  FlowViewSet(FlowViewSet&&) noexcept = default;
+  FlowViewSet& operator=(FlowViewSet&&) noexcept = default;
+  FlowViewSet(const FlowViewSet&) = delete;
+  FlowViewSet& operator=(const FlowViewSet&) = delete;
+
+  const std::vector<FlowView>& flows() const { return flows_; }
+  std::size_t size() const { return flows_.size(); }
+  bool empty() const { return flows_.empty(); }
+  const FlowView& operator[](std::size_t i) const { return flows_[i]; }
+  auto begin() const { return flows_.begin(); }
+  auto end() const { return flows_.end(); }
+
+  /// Index-pool footprint — the entire per-packet cost of a view demux.
+  std::size_t index_bytes() const {
+    return index_pool_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  friend FlowViewSet demux_flow_views(const net::PacketTrace&,
+                                      const DemuxOptions&);
+  std::vector<std::uint32_t> index_pool_;
+  std::vector<FlowView> flows_;
+};
+
+/// Splits `trace` into non-owning per-flow views without copying a single
+/// packet. Packets within a flow keep capture order; flows appear in
+/// first-packet order.
+FlowViewSet demux_flow_views(const net::PacketTrace& trace,
+                             const DemuxOptions& opts = {});
+
+/// Splits `trace` into owning flows (adapter over demux_flow_views: same
+/// flow set, packets materialized as compact FlowPackets).
 std::vector<Flow> demux_flows(const net::PacketTrace& trace,
                               const DemuxOptions& opts = {});
 

@@ -73,9 +73,11 @@ net::CapturedPacket Connection::make_packet(bool from_client) const {
 
 void Connection::capture_at_server(const net::CapturedPacket& pkt) {
   if (trace_ != nullptr) {
-    net::CapturedPacket copy = pkt;
-    copy.timestamp = sim_.now();
-    trace_->add(std::move(copy));
+    // Write straight into the trace arena; only the capture timestamp
+    // differs from the wire packet.
+    net::CapturedPacket& slot = net::TraceBuilder(*trace_).begin_packet();
+    slot = pkt;
+    slot.timestamp = sim_.now();
   }
 }
 

@@ -193,8 +193,9 @@ void TcpReceiver::emit_ack(std::optional<net::SackBlock> dsack) {
   if (config_.sack_enabled) {
     if (dsack) spec.sack_blocks.push_back(*dsack);
     for (const auto& b : recent_sacks_) {
-      if (spec.sack_blocks.size() >= 4) break;
-      spec.sack_blocks.push_back(b);
+      // push_back drops the block (returns false) once the 4-slot wire
+      // bound is reached.
+      if (!spec.sack_blocks.push_back(b)) break;
     }
   }
   if (spec.rwnd_bytes == 0) {

@@ -52,7 +52,7 @@ class TcpReceiver {
   struct AckSpec {
     std::uint32_t ack = 0;
     std::uint32_t rwnd_bytes = 0;
-    std::vector<net::SackBlock> sack_blocks;  // DSACK first when present
+    net::SackList sack_blocks;  // inline, DSACK first when present
   };
   using SendAckFn = std::function<void(const AckSpec&)>;
 

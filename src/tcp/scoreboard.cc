@@ -89,7 +89,7 @@ std::vector<SegmentState> Scoreboard::ack_to(std::uint32_t ack) {
   return acked;
 }
 
-std::uint32_t Scoreboard::apply_sack(const std::vector<net::SackBlock>& blocks,
+std::uint32_t Scoreboard::apply_sack(std::span<const net::SackBlock> blocks,
                                      std::uint32_t snd_una,
                                      std::vector<SegmentState>* newly_sacked) {
   std::uint32_t newly = 0;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/tcp_header.h"
@@ -51,9 +52,15 @@ class Scoreboard {
   /// Applies SACK blocks; returns the number of newly SACKed segments and
   /// optionally their pre-update states (for SACK-time RTT sampling).
   /// Blocks below snd_una (DSACK) are ignored here.
-  std::uint32_t apply_sack(const std::vector<net::SackBlock>& blocks,
+  std::uint32_t apply_sack(std::span<const net::SackBlock> blocks,
                            std::uint32_t snd_una,
                            std::vector<SegmentState>* newly_sacked = nullptr);
+  std::uint32_t apply_sack(std::initializer_list<net::SackBlock> blocks,
+                           std::uint32_t snd_una,
+                           std::vector<SegmentState>* newly_sacked = nullptr) {
+    return apply_sack(std::span<const net::SackBlock>(blocks.begin(), blocks.size()),
+                      snd_una, newly_sacked);
+  }
 
   /// RFC 6675-style loss marking: an unSACKed segment is lost when at least
   /// `dupthres` SACKed segments lie above it. Returns newly marked count.

@@ -215,7 +215,7 @@ void TcpSender::maybe_complete_recovery() {
 }
 
 void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
-                       const std::vector<net::SackBlock>& sack_blocks,
+                       std::span<const net::SackBlock> sack_blocks,
                        std::optional<net::SackBlock> dsack, bool carries_data) {
   if (!started_ || finished_) return;
   TAPO_TRACE(EventKind::kAckRx, sim_.now().us(), ack, rwnd_bytes);

@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -128,8 +129,15 @@ class TcpSender {
   /// is set when the leading SACK block reported a duplicate.
   /// `carries_data` marks piggybacked ACKs (they never count as dupacks).
   void on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
-              const std::vector<net::SackBlock>& sack_blocks,
+              std::span<const net::SackBlock> sack_blocks,
               std::optional<net::SackBlock> dsack, bool carries_data = false);
+  void on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
+              std::initializer_list<net::SackBlock> sack_blocks,
+              std::optional<net::SackBlock> dsack, bool carries_data = false) {
+    on_ack(ack, rwnd_bytes,
+           std::span<const net::SackBlock>(sack_blocks.begin(), sack_blocks.size()),
+           dsack, carries_data);
+  }
 
   void set_done_callback(DoneFn fn) { done_ = std::move(fn); }
 

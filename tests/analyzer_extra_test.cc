@@ -34,12 +34,11 @@ struct FlowBuilder {
   }
 
   FlowPacket& add(double t, bool from_server) {
-    FlowPacket p;
+    FlowPacket& p = flow.append_packet();
     p.ts = TimePoint::from_us(static_cast<std::int64_t>(t * 1e6));
     p.from_server = from_server;
     p.window = kBigWindow;
-    flow.packets.push_back(p);
-    return flow.packets.back();
+    return p;
   }
 
   void handshake(double t = 0.0, double rtt = 0.1) {

@@ -35,12 +35,11 @@ struct FlowBuilder {
   }
 
   FlowPacket& add(double t, bool from_server) {
-    FlowPacket p;
+    FlowPacket& p = flow.append_packet();
     p.ts = TimePoint::from_us(static_cast<std::int64_t>(t * 1e6));
     p.from_server = from_server;
     p.window = kBigWindow;
-    flow.packets.push_back(p);
-    return flow.packets.back();
+    return p;
   }
 
   /// Standard handshake: SYN at t, SYN-ACK at t, client ACK at t+rtt.
@@ -92,7 +91,7 @@ struct FlowBuilder {
     p.flags.ack = true;
     p.window = window;
     for (const auto& [s, e] : sack_segs) {
-      p.sacks.push_back({seg(s), seg(e)});
+      flow.append_sack({seg(s), seg(e)});
     }
   }
 
@@ -426,7 +425,7 @@ TEST(Analyzer, AckDelayLossStall) {
     p.ack = FlowBuilder::seg(16);
     p.flags.ack = true;
     p.window = kBigWindow;
-    p.sacks.push_back({FlowBuilder::seg(10), FlowBuilder::seg(11)});  // DSACK
+    b.flow.append_sack({FlowBuilder::seg(10), FlowBuilder::seg(11)});  // DSACK
   }
   for (int i = 16; i < 20; ++i) b.data(t + 0.7, i);
   b.ack(t + 0.8, 20);
@@ -537,7 +536,7 @@ TEST(Analyzer, SpuriousFastRetransmitCountedViaDsack) {
     p.ack = FlowBuilder::seg(5);
     p.flags.ack = true;
     p.window = kBigWindow;
-    p.sacks.push_back({FlowBuilder::seg(0), FlowBuilder::seg(1)});
+    b.flow.append_sack({FlowBuilder::seg(0), FlowBuilder::seg(1)});
   }
   const auto fa = b.analyze();
   EXPECT_EQ(fa.spurious_retrans, 1u);

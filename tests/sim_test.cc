@@ -310,5 +310,67 @@ TEST(Link, DeterministicGivenSeed) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+
+// --- cancellation bookkeeping: the handler map is the source of truth ---
+
+TEST(Simulator, PendingAndEmptyTrackCancellationImmediately) {
+  Simulator sim;
+  const EventId a = sim.schedule(Duration::millis(1), [] {});
+  const EventId b = sim.schedule(Duration::millis(2), [] {});
+  sim.schedule(Duration::millis(3), [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_FALSE(sim.empty());
+  sim.cancel(b);
+  sim.cancel(b);  // double-cancel is a no-op
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(1), [&] { ++fired; });
+  const EventId late = sim.schedule(Duration::millis(10), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(TimePoint::epoch() + Duration::millis(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+  sim.cancel(late);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const EventId head = sim.schedule(Duration::millis(1), [&] { fired = true; });
+  sim.schedule(Duration::millis(8), [&] { fired = true; });
+  sim.cancel(head);
+  // The cancelled head must not stop run_until from seeing that the next
+  // *live* event is beyond the deadline.
+  EXPECT_EQ(sim.run_until(TimePoint::epoch() + Duration::millis(5)), 0u);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelFromWithinHandler) {
+  Simulator sim;
+  bool second_fired = false;
+  const EventId second =
+      sim.schedule(Duration::millis(2), [&] { second_fired = true; });
+  sim.schedule(Duration::millis(1), [&] { sim.cancel(second); });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(second_fired);
+  EXPECT_TRUE(sim.empty());
+}
+
 }  // namespace
 }  // namespace tapo::sim

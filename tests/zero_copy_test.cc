@@ -1,0 +1,274 @@
+// Zero-copy data-path tests: the view-based demux+analysis pipeline must be
+// bit-identical to the copying path on randomized simulated workloads, view
+// lifetimes must follow the sort-then-demux rule, and the pcap reader must
+// keep its arena consistent across rejected/truncated frames.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "pcap/pcap.h"
+#include "tapo/analyzer.h"
+#include "util/rng.h"
+#include "workload/experiment.h"
+#include "workload/profiles.h"
+
+namespace tapo::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deep FlowAnalysis equality. EXPECT_EQ on doubles is deliberate: both paths
+// must execute the identical instruction stream, so results are bit-equal,
+// not merely close.
+// ---------------------------------------------------------------------------
+
+void expect_same_stall(const StallRecord& a, const StallRecord& b) {
+  EXPECT_EQ(a.start.us(), b.start.us());
+  EXPECT_EQ(a.end.us(), b.end.us());
+  EXPECT_EQ(a.duration.us(), b.duration.us());
+  EXPECT_EQ(a.cause, b.cause);
+  EXPECT_EQ(a.retrans_cause, b.retrans_cause);
+  EXPECT_EQ(a.f_double, b.f_double);
+  EXPECT_EQ(a.state_at_stall, b.state_at_stall);
+  EXPECT_EQ(a.in_flight, b.in_flight);
+  EXPECT_EQ(a.rel_position, b.rel_position);
+  EXPECT_EQ(a.cur_pkt_index, b.cur_pkt_index);
+}
+
+void expect_same_analysis(const FlowAnalysis& a, const FlowAnalysis& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.transmission_time.us(), b.transmission_time.us());
+  EXPECT_EQ(a.unique_bytes, b.unique_bytes);
+  EXPECT_EQ(a.data_segments, b.data_segments);
+  EXPECT_EQ(a.retrans_segments, b.retrans_segments);
+  EXPECT_EQ(a.avg_speed_Bps, b.avg_speed_Bps);
+  EXPECT_EQ(a.rtt_samples_us, b.rtt_samples_us);
+  EXPECT_EQ(a.rto_at_timeout_us, b.rto_at_timeout_us);
+  EXPECT_EQ(a.avg_rtt_us, b.avg_rtt_us);
+  EXPECT_EQ(a.avg_rto_us, b.avg_rto_us);
+  EXPECT_EQ(a.avg_rto_on_ack_us, b.avg_rto_on_ack_us);
+  EXPECT_EQ(a.stalled_time.us(), b.stalled_time.us());
+  EXPECT_EQ(a.stall_ratio, b.stall_ratio);
+  EXPECT_EQ(a.init_rwnd_bytes, b.init_rwnd_bytes);
+  EXPECT_EQ(a.init_rwnd_mss, b.init_rwnd_mss);
+  EXPECT_EQ(a.had_zero_rwnd, b.had_zero_rwnd);
+  EXPECT_EQ(a.inflight_on_ack, b.inflight_on_ack);
+  EXPECT_EQ(a.timeout_retrans, b.timeout_retrans);
+  EXPECT_EQ(a.fast_retrans, b.fast_retrans);
+  EXPECT_EQ(a.spurious_retrans, b.spurious_retrans);
+  ASSERT_EQ(a.stalls.size(), b.stalls.size());
+  for (std::size_t i = 0; i < a.stalls.size(); ++i) {
+    expect_same_stall(a.stalls[i], b.stalls[i]);
+  }
+}
+
+/// Runs both pipelines over `trace` and asserts flow-by-flow equality.
+void expect_view_path_matches_copy_path(const net::PacketTrace& trace) {
+  const Analyzer analyzer;
+  const std::vector<Flow> flows = demux_flows(trace);
+  const FlowViewSet views = demux_flow_views(trace);
+  ASSERT_EQ(flows.size(), views.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    ASSERT_EQ(flows[i].packets.size(), views[i].size());
+    EXPECT_EQ(flows[i].server_to_client, views[i].server_to_client);
+    expect_same_analysis(analyzer.analyze_flow(flows[i]),
+                         analyzer.analyze_flow(views[i]));
+  }
+  // And through the Analyzer::analyze entry point (view path by default).
+  const AnalysisResult whole = analyzer.analyze(trace);
+  ASSERT_EQ(whole.flows.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    expect_same_analysis(analyzer.analyze_flow(flows[i]), whole.flows[i]);
+  }
+}
+
+/// Simulates `n_flows` flows of `profile` and merges their server-NIC
+/// captures into one arena.
+net::PacketTrace merged_trace(const workload::ServiceProfile& profile,
+                              std::uint64_t seed, std::uint64_t n_flows) {
+  Rng master(seed);
+  net::PacketTrace merged;
+  for (std::uint64_t f = 0; f < n_flows; ++f) {
+    Rng flow_rng = master.split();
+    const auto scenario = workload::draw_scenario(profile, flow_rng, f);
+    auto outcome =
+        workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0),
+                           workload::TraceCapture::kServerNic);
+    if (!outcome.trace.has_value()) {
+      ADD_FAILURE() << "flow " << f << " produced no capture";
+      continue;
+    }
+    for (const auto& p : outcome.trace->packets()) merged.add(p);
+  }
+  return merged;
+}
+
+net::PacketTrace shuffled(const net::PacketTrace& trace, std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(trace.size());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
+  std::shuffle(perm.begin(), perm.end(), rng);
+  net::PacketTrace out;
+  out.reserve(trace.size());
+  for (std::uint32_t i : perm) out.add(trace[i]);
+  return out;
+}
+
+struct ProfileCase {
+  const char* name;
+  workload::ServiceProfile profile;
+};
+
+std::vector<ProfileCase> all_profiles() {
+  return {{"cloud_storage", workload::cloud_storage_profile()},
+          {"software_download", workload::software_download_profile()},
+          {"web_search", workload::web_search_profile()}};
+}
+
+TEST(ZeroCopyProperty, ViewAnalysisBitIdenticalToCopyAnalysis) {
+  for (const auto& [name, profile] : all_profiles()) {
+    SCOPED_TRACE(name);
+    net::PacketTrace trace = merged_trace(profile, /*seed=*/1234, 6);
+    ASSERT_GT(trace.size(), 0u);
+    trace.sort_by_time();  // interleave the flows chronologically
+    expect_view_path_matches_copy_path(trace);
+  }
+}
+
+TEST(ZeroCopyProperty, HoldsOnShuffledCaptureOrder) {
+  // Demux preserves per-flow capture order whatever the global order is;
+  // both paths must agree on arbitrarily permuted traces too (their output
+  // just reflects the garbled timestamps identically).
+  for (const auto& [name, profile] : all_profiles()) {
+    SCOPED_TRACE(name);
+    const net::PacketTrace base = merged_trace(profile, /*seed=*/77, 4);
+    ASSERT_GT(base.size(), 0u);
+    const net::PacketTrace garbled = shuffled(base, /*seed=*/5);
+    expect_view_path_matches_copy_path(garbled);
+  }
+}
+
+TEST(ZeroCopyProperty, ViewsSurviveSortCalledBeforeDemux) {
+  net::PacketTrace trace =
+      merged_trace(workload::cloud_storage_profile(), /*seed=*/99, 4);
+  // Shuffle, then follow the documented lifetime rule: sort FIRST, demux
+  // after. The views handed out then index the post-sort arena and must
+  // stay valid for the whole analysis.
+  net::PacketTrace work = shuffled(trace, /*seed=*/3);
+  work.sort_by_time();
+  const FlowViewSet views = demux_flow_views(work);
+  ASSERT_GT(views.size(), 0u);
+  const std::span<const net::CapturedPacket> arena = work.packets();
+  for (const FlowView& v : views) {
+    ASSERT_EQ(v.trace, &work);
+    TimePoint prev = TimePoint::epoch();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const net::CapturedPacket& cp = v.packet(i);
+      // The reference really points into the trace arena...
+      EXPECT_GE(&cp, arena.data());
+      EXPECT_LT(&cp, arena.data() + arena.size());
+      // ...and per-flow packets are time-ordered after the pre-demux sort.
+      EXPECT_GE(cp.timestamp, prev);
+      prev = cp.timestamp;
+    }
+  }
+  // The sorted trace analyzes identically via both paths.
+  expect_view_path_matches_copy_path(work);
+}
+
+TEST(ZeroCopy, FlowViewSetSurvivesMove) {
+  net::PacketTrace trace =
+      merged_trace(workload::web_search_profile(), /*seed=*/11, 2);
+  FlowViewSet views = demux_flow_views(trace);
+  ASSERT_GT(views.size(), 0u);
+  const std::size_t n = views.size();
+  const net::CapturedPacket& first = views[0].packet(0);
+  const FlowViewSet moved = std::move(views);
+  ASSERT_EQ(moved.size(), n);
+  // Spans chase the index pool's heap buffer across the move.
+  EXPECT_EQ(&moved[0].packet(0), &first);
+}
+
+TEST(ZeroCopy, PacketRecordsStayCompact) {
+  // The static_asserts enforce these at compile time; restating the sizes
+  // here keeps the budget visible in test output when they change.
+  EXPECT_LE(sizeof(FlowPacket), 32u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<FlowPacket>);
+  EXPECT_TRUE(std::is_trivially_copyable_v<net::CapturedPacket>);
+  EXPECT_TRUE(std::is_trivially_copyable_v<net::TcpHeader>);
+}
+
+TEST(ZeroCopy, TraceBuilderRollbackDiscardsSlot) {
+  net::PacketTrace trace;
+  net::TraceBuilder builder(trace);
+  net::CapturedPacket& a = builder.begin_packet();
+  a.payload_len = 111;
+  builder.begin_packet().payload_len = 222;
+  builder.rollback_last();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].payload_len, 111u);
+  builder.begin_packet().payload_len = 333;
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].payload_len, 333u);
+}
+
+// ---------------------------------------------------------------------------
+// pcap reader: truncated-mid-packet regression. The scratch-buffer read
+// loop must keep every complete record and drop the partial tail without
+// corrupting the arena.
+// ---------------------------------------------------------------------------
+
+TEST(ZeroCopy, PcapTruncatedMidPacketKeepsCompleteRecords) {
+  net::PacketTrace trace =
+      merged_trace(workload::web_search_profile(), /*seed=*/42, 1);
+  ASSERT_GE(trace.size(), 3u);
+
+  std::stringstream full;
+  pcap::write_stream(full, trace);
+  const std::string bytes = full.str();
+
+  // Walk the record framing to find where the final record's body starts,
+  // then cut in the middle of that body.
+  constexpr std::size_t kGlobalHeader = 24;
+  constexpr std::size_t kRecordHeader = 16;
+  std::size_t off = kGlobalHeader;
+  std::size_t last_body_start = 0;
+  std::size_t last_caplen = 0;
+  while (off + kRecordHeader <= bytes.size()) {
+    const auto u8 = [&](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<std::uint8_t>(bytes[off + i]));
+    };
+    const std::uint32_t caplen =
+        u8(8) | (u8(9) << 8) | (u8(10) << 16) | (u8(11) << 24);
+    last_body_start = off + kRecordHeader;
+    last_caplen = caplen;
+    off = last_body_start + caplen;
+  }
+  ASSERT_EQ(off, bytes.size()) << "framing walk must land on EOF";
+  ASSERT_GT(last_caplen, 1u);
+
+  const std::string cut = bytes.substr(0, last_body_start + last_caplen / 2);
+  std::stringstream in(cut);
+  pcap::ReadStats stats;
+  const net::PacketTrace back = pcap::read_stream(in, &stats);
+
+  ASSERT_EQ(back.size(), trace.size() - 1);
+  EXPECT_EQ(stats.tcp_packets, trace.size() - 1);
+  EXPECT_EQ(stats.records, trace.size());  // header of the cut record read
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp.us(), trace[i].timestamp.us());
+    EXPECT_EQ(back[i].key, trace[i].key);
+    EXPECT_EQ(back[i].tcp.seq, trace[i].tcp.seq);
+    EXPECT_EQ(back[i].payload_len, trace[i].payload_len);
+  }
+  // The truncated capture still demuxes and analyzes cleanly via views.
+  const Analyzer analyzer;
+  const auto result = analyzer.analyze(back);
+  EXPECT_GE(result.flows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tapo::analysis
