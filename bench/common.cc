@@ -44,14 +44,8 @@ std::size_t flows_per_service(std::size_t dflt) {
 }
 
 std::size_t bench_threads(std::size_t dflt) {
-  static const std::size_t value = [dflt] {
-    // 0 is a valid request ("all cores"), so handle it before the
-    // positive-size path.
-    if (const char* raw = std::getenv("TAPO_BENCH_THREADS")) {
-      if (std::string(raw) == "0") return std::size_t{0};
-    }
-    return util::env_positive_size("TAPO_BENCH_THREADS", dflt);
-  }();
+  // 0 is a valid request ("all cores"), so use the zero-permitting parser.
+  static const std::size_t value = util::env_size("TAPO_BENCH_THREADS", dflt);
   return value;
 }
 

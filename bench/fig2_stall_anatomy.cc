@@ -8,6 +8,7 @@
 // The bench prints the sequence-number progress over time and TAPO's
 // classification of every stall — the reproduction of the paper's Fig. 2.
 #include <cstdio>
+#include <optional>
 
 #include "common.h"
 #include "net/ipv4.h"
@@ -73,15 +74,15 @@ int main(int argc, char** argv) {
 
   // Sequence-number progress (sampled).
   std::printf("\ntime(s)  seq(KB)   [server data transmissions]\n");
-  std::uint32_t base = 0;
+  std::optional<net::Seq32> base;
   double last_printed = -1.0;
   for (const auto& p : trace.packets()) {
     if (p.key.src_port != 80 || p.payload_len == 0) continue;
-    if (base == 0) base = p.tcp.seq;
+    if (!base) base = p.tcp.seq;
     const double t = p.timestamp.sec();
     if (t - last_printed >= 0.25) {
       std::printf("%7.2f  %7.1f\n", t,
-                  static_cast<double>(p.tcp.seq - base) / 1024.0);
+                  static_cast<double>(net::distance(*base, p.tcp.seq)) / 1024.0);
       last_printed = t;
     }
   }

@@ -27,7 +27,9 @@ std::atomic<std::uint64_t> g_alloc_count{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
 
 void* counted_alloc(std::size_t n) {
+  // tapo-lint: allow(relaxed-atomic) — single-thread bench counters
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // tapo-lint: allow(relaxed-atomic) — single-thread bench counters
   g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
@@ -44,7 +46,9 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace {
 
 struct AllocSnapshot {
+  // tapo-lint: allow(relaxed-atomic) — single-thread bench counters
   std::uint64_t count = g_alloc_count.load(std::memory_order_relaxed);
+  // tapo-lint: allow(relaxed-atomic) — single-thread bench counters
   std::uint64_t bytes = g_alloc_bytes.load(std::memory_order_relaxed);
 };
 

@@ -19,6 +19,7 @@
 #include "stats/table.h"
 #include "tapo/analyzer.h"
 #include "tapo/report.h"
+#include "util/env.h"
 #include "util/strings.h"
 #include "workload/experiment.h"
 
@@ -77,7 +78,12 @@ int main(int argc, char** argv) {
       const bool has_path = i + 1 < argc && argv[i + 1][0] != '-';
       path = make_demo(has_path ? argv[++i] : "/tmp/tapo_demo.pcap");
     } else if (arg == "--server-port" && i + 1 < argc) {
-      demux.server_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      const auto port = tapo::util::parse_u64(argv[++i]);
+      if (!port || *port == 0 || *port > 65535) {
+        std::fprintf(stderr, "error: --server-port must be 1..65535\n");
+        return 1;
+      }
+      demux.server_port = static_cast<std::uint16_t>(*port);
     } else if (arg == "--tau" && i + 1 < argc) {
       config.tau = std::atof(argv[++i]);
       if (config.tau <= 0.0) {

@@ -8,6 +8,7 @@
 
 #include "stats/table.h"
 #include "tapo/report.h"
+#include "util/env.h"
 #include "util/strings.h"
 #include "workload/experiment.h"
 
@@ -15,8 +16,15 @@ using namespace tapo;
 using namespace tapo::workload;
 
 int main(int argc, char** argv) {
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+  std::size_t flows = 150;
+  if (argc > 1) {
+    const auto parsed = util::parse_positive_size(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "error: flow count must be a positive integer\n");
+      return 1;
+    }
+    flows = *parsed;
+  }
 
   stats::Table summary("per-service summary:");
   summary.set_header({"service", "flows", "avg size", "speed", "loss",

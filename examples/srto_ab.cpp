@@ -9,6 +9,7 @@
 
 #include "stats/cdf.h"
 #include "stats/table.h"
+#include "util/env.h"
 #include "util/strings.h"
 #include "workload/experiment.h"
 
@@ -22,8 +23,15 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "cloud") == 0) svc = Service::kCloudStorage;
     if (std::strcmp(argv[1], "soft") == 0) svc = Service::kSoftwareDownload;
   }
-  const std::size_t flows =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 400;
+  std::size_t flows = 400;
+  if (argc > 2) {
+    const auto parsed = util::parse_positive_size(argv[2]);
+    if (!parsed) {
+      std::fprintf(stderr, "error: flow count must be a positive integer\n");
+      return 1;
+    }
+    flows = *parsed;
+  }
   const double loss = argc > 3 ? std::atof(argv[3]) : 0.0;
 
   ExperimentConfig base;

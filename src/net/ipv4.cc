@@ -4,6 +4,7 @@
 
 #include "net/checksum.h"
 #include "net/endian.h"
+#include "util/env.h"
 #include "util/strings.h"
 
 namespace tapo::net {
@@ -49,7 +50,9 @@ std::string ipv4_to_string(std::uint32_t addr) {
 std::uint32_t ipv4_from_string(const std::string& dotted) {
   std::uint32_t addr = 0;
   for (const auto& part : split(dotted, '.')) {
-    addr = (addr << 8) | (static_cast<std::uint32_t>(std::stoul(part)) & 0xff);
+    const auto octet = util::parse_u64(part);
+    if (!octet) return 0;  // malformed dotted quad
+    addr = (addr << 8) | (static_cast<std::uint32_t>(*octet) & 0xff);
   }
   return addr;
 }

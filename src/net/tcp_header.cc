@@ -52,8 +52,8 @@ std::size_t TcpHeader::serialize(std::span<std::uint8_t> out) const {
   assert(out.size() >= len);
   put_u16(out, 0, src_port);
   put_u16(out, 2, dst_port);
-  put_u32(out, 4, seq);
-  put_u32(out, 8, ack);
+  put_u32(out, 4, seq.raw());
+  put_u32(out, 8, ack.raw());
   put_u8(out, 12, static_cast<std::uint8_t>((len / 4) << 4));
   put_u8(out, 13, flags.to_byte());
   put_u16(out, 14, window);
@@ -89,9 +89,9 @@ std::size_t TcpHeader::serialize(std::span<std::uint8_t> out) const {
     put_u8(out, off++, kOptSack);
     put_u8(out, off++, static_cast<std::uint8_t>(2 + 8 * n));
     for (std::size_t i = 0; i < n; ++i) {
-      put_u32(out, off, sack_blocks[i].start);
+      put_u32(out, off, sack_blocks[i].start.raw());
       off += 4;
-      put_u32(out, off, sack_blocks[i].end);
+      put_u32(out, off, sack_blocks[i].end.raw());
       off += 4;
     }
   }
@@ -105,8 +105,8 @@ bool TcpHeader::parse(std::span<const std::uint8_t> in, TcpHeader& out,
   out = TcpHeader{};
   out.src_port = get_u16(in, 0);
   out.dst_port = get_u16(in, 2);
-  out.seq = get_u32(in, 4);
-  out.ack = get_u32(in, 8);
+  out.seq = Seq32{get_u32(in, 4)};
+  out.ack = Seq32{get_u32(in, 8)};
   header_len = static_cast<std::size_t>(get_u8(in, 12) >> 4) * 4;
   if (header_len < kTcpMinHeaderLen || header_len > in.size()) return false;
   out.flags = TcpFlags::from_byte(get_u8(in, 13));
@@ -144,8 +144,9 @@ bool TcpHeader::parse(std::span<const std::uint8_t> in, TcpHeader& out,
         if ((optlen - 2) % 8 != 0) return false;
         const std::size_t n = static_cast<std::size_t>(optlen - 2) / 8;
         for (std::size_t i = 0; i < n; ++i) {
-          out.sack_blocks.push_back(SackBlock{
-              get_u32(in, off + 2 + 8 * i), get_u32(in, off + 6 + 8 * i)});
+          out.sack_blocks.push_back(
+              SackBlock{Seq32{get_u32(in, off + 2 + 8 * i)},
+                        Seq32{get_u32(in, off + 6 + 8 * i)}});
         }
         break;
       }

@@ -16,6 +16,8 @@
 #include <span>
 #include <type_traits>
 
+#include "net/seq.h"
+
 namespace tapo::net {
 
 constexpr std::size_t kTcpMinHeaderLen = 20;
@@ -41,9 +43,12 @@ static_assert(sizeof(TcpFlags) == 1);
 /// cumulatively-ACKed (or previously SACKed) data; receivers in this library
 /// always place the duplicate block first.
 struct SackBlock {
-  std::uint32_t start = 0;
-  std::uint32_t end = 0;
+  Seq32 start;
+  Seq32 end;
   bool operator==(const SackBlock&) const = default;
+
+  /// Bytes covered by the block (wrap-safe).
+  std::uint32_t len() const { return distance(start, end); }
 };
 
 /// Inline fixed-capacity list of SACK blocks. The 40 bytes of TCP option
@@ -101,8 +106,8 @@ struct TcpTimestamps {
 struct TcpHeader {
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
-  std::uint32_t seq = 0;
-  std::uint32_t ack = 0;
+  Seq32 seq;
+  Seq32 ack;
   TcpFlags flags;
   std::uint16_t window = 0;  // raw (unscaled) window field
 

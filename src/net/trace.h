@@ -57,10 +57,10 @@ struct CapturedPacket {
   TcpHeader tcp;
   std::uint32_t payload_len = 0;
 
-  std::uint32_t end_seq() const {
+  Seq32 end_seq() const {
     // SYN and FIN each consume one sequence number.
-    return tcp.seq + payload_len + (tcp.flags.syn ? 1u : 0u) +
-           (tcp.flags.fin ? 1u : 0u);
+    return tcp.seq + (payload_len + (tcp.flags.syn ? 1u : 0u) +
+                      (tcp.flags.fin ? 1u : 0u));
   }
   bool has_payload() const { return payload_len > 0; }
 };

@@ -75,8 +75,8 @@ void record_stall(const StallRecord& rec) {
 /// Per-segment state reconstructed by the mimic. Segments persist for the
 /// whole analysis (never popped) so stall classification can look ahead.
 struct SegMimic {
-  std::uint32_t start = 0;
-  std::uint32_t end = 0;
+  net::Seq32 start;
+  net::Seq32 end;
   std::size_t index = 0;  // ordinal among unique data segments
   std::vector<TimePoint> tx_times;
   TimePoint acked_time = TimePoint::max();
@@ -91,7 +91,7 @@ struct SegMimic {
   bool lost_est = false;
   bool retrans_pending = false;
 
-  std::uint32_t len() const { return end - start; }
+  std::uint32_t len() const { return net::distance(start, end); }
   int transmissions() const { return static_cast<int>(tx_times.size()); }
 };
 
@@ -122,8 +122,8 @@ struct PktAnno {
 /// storage to it on the fly; it is stack data plus a borrowed SACK span.
 struct PacketView {
   TimePoint ts;
-  std::uint32_t seq = 0;
-  std::uint32_t ack = 0;
+  net::Seq32 seq;
+  net::Seq32 ack;
   std::uint32_t payload = 0;
   std::uint16_t window = 0;
   net::TcpFlags flags;
@@ -189,7 +189,7 @@ class FlowMimic {
   void run(FlowAnalysis& out);
 
  private:
-  SegMimic* find_seg(std::uint32_t seq);
+  SegMimic* find_seg(net::Seq32 seq);
   std::uint32_t packets_out() const;
   std::uint32_t in_flight() const;
   void mark_lost_by_sack();
@@ -201,7 +201,7 @@ class FlowMimic {
   StallRecord classify_stall(std::size_t prev_idx, std::size_t cur_idx) const;
   RetransCause classify_retrans(const PktAnno& prev, const PktAnno& cur,
                                 TimePoint stall_start, bool& f_double) const;
-  std::uint32_t response_end_for(const SegMimic& seg) const;
+  net::Seq32 response_end_for(const SegMimic& seg) const;
 
   const Cursor cursor_;
   const FlowMeta& meta_;
@@ -210,18 +210,20 @@ class FlowMimic {
 
   std::vector<SegMimic> segs_;
   std::vector<PktAnno> annos_;
-  std::set<std::uint32_t> head_seqs_;  // response start sequences
+  // Response start sequences, serial-ordered: per-flow values span far
+  // less than 2^31 bytes, so SeqLess is a strict weak ordering here.
+  std::set<net::Seq32, net::SeqLess> head_seqs_;
 
-  std::uint32_t snd_una_ = 0;
-  std::uint32_t snd_nxt_ = 0;
-  std::uint32_t first_unacked_idx_ = 0;  // index into segs_ (monotone)
+  net::Seq32 snd_una_;
+  net::Seq32 snd_nxt_;
+  std::size_t first_unacked_idx_ = 0;  // index into segs_ (monotone)
 
   tcp::CaState state_ = tcp::CaState::kOpen;
   std::uint32_t cwnd_est_ = 3;
   std::uint32_t ssthresh_est_ = 0x7fffffff;
   std::uint32_t cwnd_credit_ = 0;
   std::uint32_t dupacks_ = 0;
-  std::uint32_t high_seq_est_ = 0;
+  net::Seq32 high_seq_est_;
   std::uint32_t rwnd_scaled_ = 0xffffffff;
   bool established_ = false;
   TimePoint synack_ts_;
@@ -233,14 +235,14 @@ class FlowMimic {
 };
 
 template <typename Cursor>
-SegMimic* FlowMimic<Cursor>::find_seg(std::uint32_t seq) {
+SegMimic* FlowMimic<Cursor>::find_seg(net::Seq32 seq) {
   // Segments are sorted by start; binary search for the containing one.
   auto it = std::upper_bound(
       segs_.begin(), segs_.end(), seq,
-      [](std::uint32_t s, const SegMimic& seg) { return s < seg.start; });
+      [](net::Seq32 s, const SegMimic& seg) { return net::before(s, seg.start); });
   if (it == segs_.begin()) return nullptr;
   --it;
-  return (seq >= it->start && seq < it->end) ? &*it : nullptr;
+  return net::seq_in_range(seq, it->start, it->end) ? &*it : nullptr;
 }
 
 template <typename Cursor>
@@ -309,9 +311,9 @@ void FlowMimic<Cursor>::process_server_packet(const PacketView& p,
   if (eff_len == 0) return;  // pure ACK
 
   a.server_data = true;
-  const std::uint32_t end = p.seq + eff_len;
+  const net::Seq32 end = p.seq + eff_len;
 
-  if (p.seq >= snd_nxt_) {
+  if (net::at_or_after(p.seq, snd_nxt_)) {
     // New data.
     SegMimic seg;
     seg.start = p.seq;
@@ -400,10 +402,11 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
   // contained in the second block.
   if (!p.sacks.empty()) {
     const auto& b0 = p.sacks[0];
-    const bool below_ack = b0.end <= p.ack;
-    const bool inside_second = p.sacks.size() >= 2 &&
-                               b0.start >= p.sacks[1].start &&
-                               b0.end <= p.sacks[1].end;
+    const bool below_ack = net::at_or_before(b0.end, p.ack);
+    const bool inside_second =
+        p.sacks.size() >= 2 &&
+        net::at_or_after(b0.start, p.sacks[1].start) &&
+        net::at_or_before(b0.end, p.sacks[1].end);
     if (below_ack || inside_second) {
       if (SegMimic* seg = find_seg(b0.start)) {
         if (!seg->dsacked && seg->transmissions() > 1) {
@@ -417,11 +420,12 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
   // SACK application (blocks above snd_una).
   std::uint32_t newly_sacked = 0;
   for (const auto& b : p.sacks) {
-    if (b.end <= snd_una_) continue;
+    if (net::at_or_before(b.end, snd_una_)) continue;
     for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
       SegMimic& s = segs_[i];
       if (s.acked || s.sacked) continue;
-      if (s.start >= b.start && s.end <= b.end) {
+      if (net::at_or_after(s.start, b.start) &&
+          net::at_or_before(s.end, b.end)) {
         s.sacked = true;
         s.sacked_time = std::min(s.sacked_time, p.ts);
         s.lost_est = false;
@@ -437,7 +441,7 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
     }
   }
 
-  const bool ack_advanced = p.ack > snd_una_;
+  const bool ack_advanced = net::after(p.ack, snd_una_);
   std::uint32_t n_acked = 0;
   if (ack_advanced) {
     // Karn's rule + newest-candidate sampling, mirroring the sender.
@@ -445,7 +449,7 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
     bool have = false;
     for (std::size_t i = first_unacked_idx_; i < segs_.size(); ++i) {
       SegMimic& s = segs_[i];
-      if (s.end > p.ack) break;
+      if (net::after(s.end, p.ack)) break;
       if (!s.acked) {
         s.acked = true;
         s.acked_time = p.ts;
@@ -496,7 +500,7 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
     }
     case tcp::CaState::kRecovery: {
       mark_lost_by_sack();
-      if (snd_una_ >= high_seq_est_) {
+      if (net::at_or_after(snd_una_, high_seq_est_)) {
         state_ = tcp::CaState::kOpen;
         cwnd_est_ = std::min(cwnd_est_, std::max<std::uint32_t>(ssthresh_est_, 2));
         dupacks_ = 0;
@@ -509,7 +513,7 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
       if (ack_advanced) {
         if (cwnd_est_ < ssthresh_est_) cwnd_est_ += n_acked;
       }
-      if (snd_una_ >= high_seq_est_) {
+      if (net::at_or_after(snd_una_, high_seq_est_)) {
         state_ = tcp::CaState::kOpen;
         dupacks_ = 0;
       }
@@ -526,7 +530,7 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
 }
 
 template <typename Cursor>
-std::uint32_t FlowMimic<Cursor>::response_end_for(const SegMimic& seg) const {
+net::Seq32 FlowMimic<Cursor>::response_end_for(const SegMimic& seg) const {
   auto it = head_seqs_.upper_bound(seg.start);
   if (it != head_seqs_.end()) return *it;
   return snd_nxt_;  // final: end of everything the server sent
@@ -719,10 +723,10 @@ RetransCause FlowMimic<Cursor>::classify_retrans(const PktAnno& prev,
   // 2. Tail retransmission: the segment sits at the end of its response
   //    (within dupthres segments of the response boundary), so the receiver
   //    cannot generate enough dupacks (§4.2).
-  const std::uint32_t resp_end = response_end_for(seg);
+  const net::Seq32 resp_end = response_end_for(seg);
   const std::uint32_t tail_zone =
       config_.dupthres * static_cast<std::uint32_t>(meta_.mss);
-  if (genuinely_lost && resp_end - seg.end < tail_zone) {
+  if (genuinely_lost && net::distance(seg.end, resp_end) < tail_zone) {
     return RetransCause::kTailRetrans;
   }
 

@@ -31,8 +31,8 @@ namespace tapo::analysis {
 /// Flow's sack pool (most packets carry none), addressed by offset+count.
 struct FlowPacket {
   TimePoint ts;
-  std::uint32_t seq = 0;
-  std::uint32_t ack = 0;
+  net::Seq32 seq;
+  net::Seq32 ack;
   std::uint32_t payload = 0;
   std::uint32_t sack_offset = 0;  // into Flow::sack_pool
   std::uint16_t window = 0;       // raw field (unscaled)
@@ -41,8 +41,8 @@ struct FlowPacket {
   /// Orients the packet relative to the data sender.
   bool from_server = false;
 
-  std::uint32_t end_seq() const {
-    return seq + payload + (flags.syn ? 1u : 0u) + (flags.fin ? 1u : 0u);
+  net::Seq32 end_seq() const {
+    return seq + (payload + (flags.syn ? 1u : 0u) + (flags.fin ? 1u : 0u));
   }
 };
 static_assert(std::is_trivially_copyable_v<FlowPacket>,
@@ -60,8 +60,8 @@ struct FlowMeta {
   bool saw_synack = false;
   bool saw_fin = false;
 
-  std::uint32_t client_isn = 0;
-  std::uint32_t server_isn = 0;
+  net::Seq32 client_isn;
+  net::Seq32 server_isn;
   std::uint16_t mss = 1448;
   bool sack_permitted = false;
   std::uint8_t client_wscale = 0;

@@ -39,9 +39,9 @@ std::uint32_t RenoCc::on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
     return cwnd + grow;
   }
   // Congestion avoidance: +1 per cwnd acked segments.
-  ack_credit_ += acked;
-  if (ack_credit_ >= cwnd && cwnd > 0) {
-    ack_credit_ -= cwnd;
+  growth_credit_ += acked;
+  if (growth_credit_ >= cwnd && cwnd > 0) {
+    growth_credit_ -= cwnd;
     return cwnd + 1;
   }
   return cwnd;
@@ -56,7 +56,7 @@ void CubicCc::reset() {
   w_max_ = 0.0;
   in_epoch_ = false;
   k_ = 0.0;
-  ack_credit_ = 0;
+  growth_credit_ = 0;
 }
 
 void CubicCc::on_loss_event(TimePoint /*now*/) { in_epoch_ = false; }
@@ -83,7 +83,7 @@ std::uint32_t CubicCc::on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
     epoch_start_ = now;
     if (w_max_ < static_cast<double>(cwnd)) w_max_ = static_cast<double>(cwnd);
     k_ = std::cbrt(w_max_ * (1.0 - 0.7) / kC);
-    ack_credit_ = 0;
+    growth_credit_ = 0;
   }
   // Target window one RTT in the future, per the CUBIC function.
   const double t = (now - epoch_start_).sec() + srtt.sec();
@@ -94,16 +94,16 @@ std::uint32_t CubicCc::on_ack(std::uint32_t cwnd, std::uint32_t ssthresh,
     // through an ack-credit counter like the kernel's cnt/cwnd_cnt.
     const double cnt =
         static_cast<double>(cwnd) / (target - static_cast<double>(cwnd));
-    ack_credit_ += acked;
-    if (static_cast<double>(ack_credit_) >= std::max(cnt, 2.0)) {
-      ack_credit_ = 0;
+    growth_credit_ += acked;
+    if (static_cast<double>(growth_credit_) >= std::max(cnt, 2.0)) {
+      growth_credit_ = 0;
       next = cwnd + 1;
     }
   } else {
     // TCP-friendly region / plateau: grow at most 1 segment per 100 acks.
-    ack_credit_ += acked;
-    if (ack_credit_ >= 100 * cwnd) {
-      ack_credit_ = 0;
+    growth_credit_ += acked;
+    if (growth_credit_ >= 100 * cwnd) {
+      growth_credit_ = 0;
       next = cwnd + 1;
     }
   }

@@ -46,11 +46,11 @@ class RenoCc final : public CongestionControl {
                        std::uint32_t acked, TimePoint now,
                        Duration srtt) override;
   std::uint32_t ssthresh(std::uint32_t cwnd) override;
-  void reset() override { ack_credit_ = 0; }
+  void reset() override { growth_credit_ = 0; }
   std::string name() const override { return "reno"; }
 
  private:
-  std::uint32_t ack_credit_ = 0;  // snd_cwnd_cnt analogue
+  std::uint32_t growth_credit_ = 0;  // snd_cwnd_cnt analogue
 };
 
 /// CUBIC (Ha, Rhee, Xu 2008): W(t) = C (t - K)^3 + W_max, beta = 0.7.
@@ -69,7 +69,7 @@ class CubicCc final : public CongestionControl {
   TimePoint epoch_start_;
   bool in_epoch_ = false;
   double k_ = 0.0;
-  std::uint32_t ack_credit_ = 0;
+  std::uint32_t growth_credit_ = 0;
 };
 
 }  // namespace tapo::tcp

@@ -8,8 +8,6 @@
 namespace tapo::tcp {
 namespace {
 
-constexpr std::uint32_t kClientIsn = 1000;
-constexpr std::uint32_t kServerIsn = 5000;
 constexpr std::uint16_t kMaxWindowField = 65535;
 
 /// RFC 2883 DSACK heuristic: the first SACK block reports a duplicate when
@@ -17,10 +15,13 @@ constexpr std::uint16_t kMaxWindowField = 65535;
 std::optional<net::SackBlock> extract_dsack(const net::TcpHeader& tcp) {
   if (tcp.sack_blocks.empty()) return std::nullopt;
   const auto& b0 = tcp.sack_blocks[0];
-  if (b0.end <= tcp.ack) return b0;
+  if (net::at_or_before(b0.end, tcp.ack)) return b0;
   if (tcp.sack_blocks.size() >= 2) {
     const auto& b1 = tcp.sack_blocks[1];
-    if (b0.start >= b1.start && b0.end <= b1.end) return b0;
+    if (net::at_or_after(b0.start, b1.start) &&
+        net::at_or_before(b0.end, b1.end)) {
+      return b0;
+    }
   }
   return std::nullopt;
 }
@@ -35,8 +36,8 @@ Connection::Connection(sim::Simulator& sim, sim::Link& down, sim::Link& up,
       config_(std::move(config)),
       trace_(trace),
       client_retx_(sim, [this] { client_retx_fire(); }) {
-  client_isn_ = kClientIsn;
-  server_isn_ = kServerIsn;
+  client_isn_ = config_.client_isn;
+  server_isn_ = config_.server_isn;
   client_wscale_ =
       config_.receiver.max_rwnd_bytes > kMaxWindowField ? 7 : 0;
 
@@ -157,7 +158,7 @@ void Connection::client_retx_fire() {
   }
   if (client_state_ == ClientState::kSynSent) {
     client_send_syn();
-  } else if (client_acked_ < client_req_end_) {
+  } else if (net::before(client_acked_, client_req_end_)) {
     client_send_request(next_request_ - 1);
   }
 }
@@ -196,9 +197,11 @@ void Connection::client_on_packet(const net::CapturedPacket& pkt) {
   }
 
   // Any established packet may acknowledge client request data.
-  if (pkt.tcp.flags.ack && pkt.tcp.ack > client_acked_) {
+  if (pkt.tcp.flags.ack && net::after(pkt.tcp.ack, client_acked_)) {
     client_acked_ = pkt.tcp.ack;
-    if (client_acked_ >= client_req_end_) client_retx_.cancel();
+    if (net::at_or_after(client_acked_, client_req_end_)) {
+      client_retx_.cancel();
+    }
   }
 
   if (pkt.payload_len > 0) {
@@ -211,7 +214,8 @@ void Connection::client_on_packet(const net::CapturedPacket& pkt) {
 }
 
 void Connection::client_maybe_next_request() {
-  const std::uint64_t received = receiver_->rcv_nxt() - (server_isn_ + 1);
+  const std::uint64_t received =
+      net::distance(server_isn_ + 1, receiver_->rcv_nxt());
   // Mark completed responses.
   std::uint64_t cum = 0;
   for (std::size_t k = 0; k < next_request_; ++k) {
@@ -224,7 +228,8 @@ void Connection::client_maybe_next_request() {
   }
   // Issue the next request once the previous response fully arrived.
   if (next_request_ < config_.requests.size() &&
-      received >= client_resp_expect_ && client_acked_ >= client_req_end_) {
+      received >= client_resp_expect_ &&
+      net::at_or_after(client_acked_, client_req_end_)) {
     const std::size_t idx = next_request_;
     const Duration gap = config_.requests[idx].client_gap;
     if (gap == Duration::zero()) {
@@ -285,8 +290,9 @@ void Connection::server_on_packet(const net::CapturedPacket& pkt) {
 }
 
 void Connection::server_handle_request_data(const net::CapturedPacket& pkt) {
-  const std::uint32_t end = pkt.tcp.seq + pkt.payload_len;
-  if (pkt.tcp.seq <= server_rcv_nxt_ && end > server_rcv_nxt_) {
+  const net::Seq32 end = pkt.tcp.seq + pkt.payload_len;
+  if (net::at_or_before(pkt.tcp.seq, server_rcv_nxt_) &&
+      net::after(end, server_rcv_nxt_)) {
     server_rcv_nxt_ = end;
   }
   // Acknowledge the request promptly (the response may lag behind by the
@@ -297,7 +303,8 @@ void Connection::server_handle_request_data(const net::CapturedPacket& pkt) {
   std::uint64_t cum = 0;
   for (std::size_t k = 0; k < config_.requests.size(); ++k) {
     cum += config_.requests[k].request_bytes;
-    const std::uint64_t received = server_rcv_nxt_ - (client_isn_ + 1);
+    const std::uint64_t received =
+        net::distance(client_isn_ + 1, server_rcv_nxt_);
     if (k == server_next_request_ && received >= cum) {
       ++server_next_request_;
       server_begin_response(k);
@@ -367,7 +374,8 @@ void Connection::server_emit_pure_ack() {
 }
 
 void Connection::server_check_request_acked() {
-  const std::uint64_t acked = sender_->snd_una() - (server_isn_ + 1);
+  const std::uint64_t acked =
+      net::distance(server_isn_ + 1, sender_->snd_una());
   std::uint64_t cum = 0;
   for (std::size_t k = 0; k < config_.requests.size(); ++k) {
     cum += config_.requests[k].response_bytes;

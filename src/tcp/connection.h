@@ -50,6 +50,11 @@ struct ConnectionConfig {
   SenderConfig sender;
   ReceiverConfig receiver;
   std::vector<RequestSpec> requests;
+  /// Initial sequence numbers for the two directions. Defaults are the
+  /// historical fixed values; the wraparound property test sets an ISN just
+  /// below 2^32 to drive the whole transfer across the wrap.
+  net::Seq32 client_isn = net::Seq32{1000};
+  net::Seq32 server_isn = net::Seq32{5000};
   /// Client SYN / request retransmission timer (stop-and-wait app layer).
   Duration client_rto = Duration::seconds(3.0);
   int max_client_retries = 8;
@@ -125,11 +130,11 @@ class Connection {
   // Handshake and app-layer client state.
   enum class ClientState { kIdle, kSynSent, kEstablished, kClosed };
   ClientState client_state_ = ClientState::kIdle;
-  std::uint32_t client_isn_ = 0;
-  std::uint32_t server_isn_ = 0;
-  std::uint32_t client_snd_nxt_ = 0;   // next client payload byte
-  std::uint32_t client_req_end_ = 0;   // end seq of outstanding request
-  std::uint32_t client_acked_ = 0;     // highest server ack of client data
+  net::Seq32 client_isn_;
+  net::Seq32 server_isn_;
+  net::Seq32 client_snd_nxt_;   // next client payload byte
+  net::Seq32 client_req_end_;   // end seq of outstanding request
+  net::Seq32 client_acked_;     // highest server ack of client data
   std::size_t next_request_ = 0;       // next request index to issue
   std::uint64_t client_resp_expect_ = 0;  // stream offset of current response end
   sim::Timer client_retx_;
@@ -139,7 +144,7 @@ class Connection {
   std::uint8_t server_wscale_ = 0;
 
   // Server app state.
-  std::uint32_t server_rcv_nxt_ = 0;   // next expected client payload byte
+  net::Seq32 server_rcv_nxt_;   // next expected client payload byte
   std::size_t server_next_request_ = 0;  // next request to serve
   std::size_t responses_written_ = 0;
   TimePoint synack_sent_;

@@ -14,7 +14,7 @@ TcpReceiver::TcpReceiver(sim::Simulator& sim, ReceiverConfig config,
   buffer_cap_ = config_.init_rwnd_bytes;
 }
 
-void TcpReceiver::start(std::uint32_t rcv_nxt) {
+void TcpReceiver::start(Seq32 rcv_nxt) {
   rcv_nxt_ = rcv_nxt;
   read_seq_ = rcv_nxt;
   tune_mark_ = rcv_nxt;
@@ -22,14 +22,14 @@ void TcpReceiver::start(std::uint32_t rcv_nxt) {
 }
 
 std::uint32_t TcpReceiver::buffered_bytes() const {
-  std::uint32_t b = rcv_nxt_ - read_seq_;
-  for (const auto& blk : ooo_) b += blk.end - blk.start;
+  std::uint32_t b = net::distance(read_seq_, rcv_nxt_);
+  for (const auto& blk : ooo_) b += blk.len();
   return b;
 }
 
 std::uint64_t TcpReceiver::ooo_bytes() const {
   std::uint64_t b = 0;
-  for (const auto& blk : ooo_) b += blk.end - blk.start;
+  for (const auto& blk : ooo_) b += blk.len();
   return b;
 }
 
@@ -51,9 +51,9 @@ void TcpReceiver::drain_app_reads() {
                           drain_remainder_;
   auto can_read = static_cast<std::uint64_t>(readable);
   drain_remainder_ = readable - static_cast<double>(can_read);
-  const std::uint32_t inorder = rcv_nxt_ - read_seq_;
+  const std::uint32_t inorder = net::distance(read_seq_, rcv_nxt_);
   can_read = std::min<std::uint64_t>(can_read, inorder);
-  read_seq_ += static_cast<std::uint32_t>(can_read);
+  read_seq_ = net::advance(read_seq_, can_read);
   if (config_.pause_every_bytes > 0) {
     read_since_pause_ += can_read;
     if (read_since_pause_ >= config_.pause_every_bytes) {
@@ -70,7 +70,7 @@ void TcpReceiver::maybe_autotune() {
   // is using the window — double the buffer (up to the cap) so the
   // advertised window stays ahead of the congestion window. Slow readers
   // still hit zero windows despite autotune, as in the wild.
-  if (rcv_nxt_ - tune_mark_ >= buffer_cap_ / 2 &&
+  if (net::distance(tune_mark_, rcv_nxt_) >= buffer_cap_ / 2 &&
       buffer_cap_ < config_.max_rwnd_bytes) {
     tune_mark_ = rcv_nxt_;
     buffer_cap_ = std::min(buffer_cap_ * 2, config_.max_rwnd_bytes);
@@ -83,18 +83,18 @@ std::uint32_t TcpReceiver::current_rwnd() {
   return used >= buffer_cap_ ? 0 : buffer_cap_ - used;
 }
 
-void TcpReceiver::add_ooo(std::uint32_t start, std::uint32_t end) {
+void TcpReceiver::add_ooo(Seq32 start, Seq32 end) {
   // Insert and merge overlapping/adjacent ranges; keep sorted by start.
   net::SackBlock blk{start, end};
   ooo_.push_back(blk);
   std::sort(ooo_.begin(), ooo_.end(),
             [](const net::SackBlock& a, const net::SackBlock& b) {
-              return a.start < b.start;
+              return net::before(a.start, b.start);
             });
   std::vector<net::SackBlock> merged;
   for (const auto& b : ooo_) {
-    if (!merged.empty() && b.start <= merged.back().end) {
-      merged.back().end = std::max(merged.back().end, b.end);
+    if (!merged.empty() && net::at_or_before(b.start, merged.back().end)) {
+      merged.back().end = net::seq_max(merged.back().end, b.end);
     } else {
       merged.push_back(b);
     }
@@ -102,26 +102,31 @@ void TcpReceiver::add_ooo(std::uint32_t start, std::uint32_t end) {
   ooo_ = std::move(merged);
 
   // Track reporting order: the block containing the new data goes first.
+  const auto contains = [&](const net::SackBlock& b) {
+    return net::at_or_after(start, b.start) && net::at_or_before(end, b.end);
+  };
   recent_sacks_.clear();
   for (const auto& b : ooo_) {
-    if (start >= b.start && end <= b.end) recent_sacks_.push_back(b);
+    if (contains(b)) recent_sacks_.push_back(b);
   }
   for (const auto& b : ooo_) {
-    if (!(start >= b.start && end <= b.end)) recent_sacks_.push_back(b);
+    if (!contains(b)) recent_sacks_.push_back(b);
   }
 }
 
-bool TcpReceiver::is_duplicate(std::uint32_t start, std::uint32_t end) const {
-  if (end <= rcv_nxt_) return true;
+bool TcpReceiver::is_duplicate(Seq32 start, Seq32 end) const {
+  if (net::at_or_before(end, rcv_nxt_)) return true;
   for (const auto& b : ooo_) {
-    if (start >= b.start && end <= b.end) return true;
+    if (net::at_or_after(start, b.start) && net::at_or_before(end, b.end)) {
+      return true;
+    }
   }
   return false;
 }
 
-void TcpReceiver::on_data(std::uint32_t seq, std::uint32_t len) {
+void TcpReceiver::on_data(Seq32 seq, std::uint32_t len) {
   assert(len > 0);
-  const std::uint32_t end = seq + len;
+  const Seq32 end = seq + len;
   drain_app_reads();
 
   std::optional<net::SackBlock> dsack;
@@ -133,13 +138,13 @@ void TcpReceiver::on_data(std::uint32_t seq, std::uint32_t len) {
     return;
   }
 
-  if (seq <= rcv_nxt_) {
+  if (net::at_or_before(seq, rcv_nxt_)) {
     // In-order (possibly partially duplicate) data.
     const bool had_holes = !ooo_.empty();
-    rcv_nxt_ = std::max(rcv_nxt_, end);
+    rcv_nxt_ = net::seq_max(rcv_nxt_, end);
     // Absorb any out-of-order blocks now covered.
-    while (!ooo_.empty() && ooo_.front().start <= rcv_nxt_) {
-      rcv_nxt_ = std::max(rcv_nxt_, ooo_.front().end);
+    while (!ooo_.empty() && net::at_or_before(ooo_.front().start, rcv_nxt_)) {
+      rcv_nxt_ = net::seq_max(rcv_nxt_, ooo_.front().end);
       ooo_.erase(ooo_.begin());
     }
     if (had_holes) {
@@ -152,6 +157,7 @@ void TcpReceiver::on_data(std::uint32_t seq, std::uint32_t len) {
     }
     if (!recent_sacks_.empty()) recent_sacks_.clear();
     ++unacked_segments_;
+    // tapo-lint: allow(seq-compare) — segment *counts*, not sequence numbers
     if (unacked_segments_ >= config_.ack_every) {
       emit_ack(std::nullopt);
     } else {
@@ -167,7 +173,7 @@ void TcpReceiver::on_data(std::uint32_t seq, std::uint32_t len) {
   emit_ack(std::nullopt);
 }
 
-void TcpReceiver::on_fin(std::uint32_t seq) {
+void TcpReceiver::on_fin(Seq32 seq) {
   drain_app_reads();
   if (seq == rcv_nxt_ && ooo_.empty()) {
     rcv_nxt_ = seq + 1;

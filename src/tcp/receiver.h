@@ -13,11 +13,14 @@
 #include <optional>
 #include <vector>
 
+#include "net/seq.h"
 #include "net/tcp_header.h"
 #include "sim/simulator.h"
 #include "util/time.h"
 
 namespace tapo::tcp {
+
+using net::Seq32;
 
 struct ReceiverConfig {
   std::uint32_t mss = 1448;
@@ -50,7 +53,7 @@ struct ReceiverConfig {
 class TcpReceiver {
  public:
   struct AckSpec {
-    std::uint32_t ack = 0;
+    Seq32 ack;
     std::uint32_t rwnd_bytes = 0;
     net::SackList sack_blocks;  // inline, DSACK first when present
   };
@@ -60,16 +63,16 @@ class TcpReceiver {
 
   /// Initial sequence expected (end of server SYN). Call once after the
   /// handshake establishes the server's ISN.
-  void start(std::uint32_t rcv_nxt);
+  void start(Seq32 rcv_nxt);
 
   /// Processes an arriving data segment [seq, seq+len). May emit an ACK now
   /// or arm the delayed-ACK timer.
-  void on_data(std::uint32_t seq, std::uint32_t len);
+  void on_data(Seq32 seq, std::uint32_t len);
 
   /// Processes FIN at `seq` (after any payload): acks it immediately.
-  void on_fin(std::uint32_t seq);
+  void on_fin(Seq32 seq);
 
-  std::uint32_t rcv_nxt() const { return rcv_nxt_; }
+  Seq32 rcv_nxt() const { return rcv_nxt_; }
   /// Current advertised window after draining the app-read model.
   std::uint32_t current_rwnd();
   std::uint32_t buffer_capacity() const { return buffer_cap_; }
@@ -87,17 +90,17 @@ class TcpReceiver {
   void schedule_window_update_check();
   std::uint32_t buffered_bytes() const;
   std::uint64_t ooo_bytes() const;
-  void add_ooo(std::uint32_t start, std::uint32_t end);
-  bool is_duplicate(std::uint32_t start, std::uint32_t end) const;
+  void add_ooo(Seq32 start, Seq32 end);
+  bool is_duplicate(Seq32 start, Seq32 end) const;
 
   sim::Simulator& sim_;
   ReceiverConfig config_;
   SendAckFn send_ack_;
 
-  std::uint32_t rcv_nxt_ = 0;
-  std::uint32_t read_seq_ = 0;   // app has consumed up to here
+  Seq32 rcv_nxt_;
+  Seq32 read_seq_;   // app has consumed up to here
   std::uint32_t buffer_cap_ = 0;
-  std::uint32_t tune_mark_ = 0;  // rcv_nxt at the last autotune step
+  Seq32 tune_mark_;  // rcv_nxt at the last autotune step
   TimePoint paused_until_;
   std::uint64_t read_since_pause_ = 0;
   TimePoint last_drain_;

@@ -5,9 +5,8 @@
 
 namespace tapo::tcp {
 
-void Scoreboard::on_transmit(std::uint32_t start, std::uint32_t end,
-                             TimePoint now) {
-  assert(end > start);
+void Scoreboard::on_transmit(Seq32 start, Seq32 end, TimePoint now) {
+  assert(net::after(end, start));
   if (started_) {
     assert(start == next_start_ && "transmissions must be contiguous");
   } else {
@@ -22,14 +21,14 @@ void Scoreboard::on_transmit(std::uint32_t start, std::uint32_t end,
   next_start_ = end;
 }
 
-SegmentState* Scoreboard::find_mut(std::uint32_t seq) {
+SegmentState* Scoreboard::find_mut(Seq32 seq) {
   for (auto& s : segs_) {
-    if (seq >= s.start && seq < s.end) return &s;
+    if (net::seq_in_range(seq, s.start, s.end)) return &s;
   }
   return nullptr;
 }
 
-const SegmentState* Scoreboard::find(std::uint32_t seq) const {
+const SegmentState* Scoreboard::find(Seq32 seq) const {
   return const_cast<Scoreboard*>(this)->find_mut(seq);
 }
 
@@ -60,7 +59,7 @@ void Scoreboard::clear_retrans_pending(SegmentState& s) {
   }
 }
 
-void Scoreboard::on_retransmit(std::uint32_t seq, TimePoint now, bool rto) {
+void Scoreboard::on_retransmit(Seq32 seq, TimePoint now, bool rto) {
   SegmentState* s = find_mut(seq);
   if (s == nullptr) return;
   if (s->retrans < 255) ++s->retrans;
@@ -76,9 +75,9 @@ void Scoreboard::on_retransmit(std::uint32_t seq, TimePoint now, bool rto) {
   }
 }
 
-std::vector<SegmentState> Scoreboard::ack_to(std::uint32_t ack) {
+std::vector<SegmentState> Scoreboard::ack_to(Seq32 ack) {
   std::vector<SegmentState> acked;
-  while (!segs_.empty() && segs_.front().end <= ack) {
+  while (!segs_.empty() && net::at_or_before(segs_.front().end, ack)) {
     const SegmentState& s = segs_.front();
     if (s.sacked) --sacked_out_;
     if (s.lost) --lost_out_;
@@ -90,13 +89,14 @@ std::vector<SegmentState> Scoreboard::ack_to(std::uint32_t ack) {
 }
 
 std::uint32_t Scoreboard::apply_sack(std::span<const net::SackBlock> blocks,
-                                     std::uint32_t snd_una,
+                                     Seq32 snd_una,
                                      std::vector<SegmentState>* newly_sacked) {
   std::uint32_t newly = 0;
   for (const auto& b : blocks) {
-    if (b.end <= snd_una) continue;  // DSACK for already-acked data
+    if (net::at_or_before(b.end, snd_una)) continue;  // DSACK for acked data
     for (auto& s : segs_) {
-      if (!s.sacked && s.start >= b.start && s.end <= b.end) {
+      if (!s.sacked && net::at_or_after(s.start, b.start) &&
+          net::at_or_before(s.end, b.end)) {
         if (newly_sacked != nullptr) newly_sacked->push_back(s);
         // A SACK for this segment supersedes any loss/retrans bookkeeping.
         set_sacked(s);
@@ -124,7 +124,7 @@ std::uint32_t Scoreboard::mark_lost_by_sack(std::uint32_t dupthres) {
   return newly;
 }
 
-std::uint32_t Scoreboard::highest_sacked() const {
+Seq32 Scoreboard::highest_sacked() const {
   for (auto it = segs_.rbegin(); it != segs_.rend(); ++it) {
     if (it->sacked) return it->end;
   }
@@ -133,13 +133,13 @@ std::uint32_t Scoreboard::highest_sacked() const {
 
 std::uint32_t Scoreboard::mark_lost_by_fack(std::uint32_t dupthres,
                                             std::uint32_t mss) {
-  const std::uint32_t fack = highest_sacked();
+  const Seq32 fack = highest_sacked();
   const std::uint64_t margin = static_cast<std::uint64_t>(dupthres) * mss;
   std::uint32_t newly = 0;
   for (auto& s : segs_) {
     if (s.sacked || s.lost) continue;
-    if (s.end >= fack) break;  // nothing SACKed beyond here
-    if (static_cast<std::uint64_t>(fack) - s.end >= margin) {
+    if (net::at_or_after(s.end, fack)) break;  // nothing SACKed beyond here
+    if (net::distance(s.end, fack) >= margin) {
       set_lost(s);
       ++newly;
     }
@@ -204,7 +204,7 @@ std::uint32_t Scoreboard::in_flight() const {
   return out > gone ? out - gone : 0;
 }
 
-std::optional<std::uint32_t> Scoreboard::next_lost_to_retransmit() const {
+std::optional<Seq32> Scoreboard::next_lost_to_retransmit() const {
   for (const auto& s : segs_) {
     if (s.lost && !s.retrans_pending && !s.sacked) return s.start;
   }

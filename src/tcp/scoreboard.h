@@ -4,7 +4,9 @@
 //
 // Segments are MSS-sized except possibly the last one of a response, so the
 // scoreboard is an ordered deque of contiguous ranges; fully acknowledged
-// segments are popped from the front.
+// segments are popped from the front. All sequence positions are net::Seq32
+// and every ordering decision goes through seq.h's wrap-safe helpers, so the
+// scoreboard stays correct when a flow crosses the 2^32 wrap.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +15,17 @@
 #include <span>
 #include <vector>
 
+#include "net/seq.h"
 #include "net/tcp_header.h"
 #include "util/time.h"
 
 namespace tapo::tcp {
 
+using net::Seq32;
+
 struct SegmentState {
-  std::uint32_t start = 0;  // first sequence number
-  std::uint32_t end = 0;    // one past last
+  Seq32 start;  // first sequence number
+  Seq32 end;    // one past last
   std::uint8_t retrans = 0;           // times retransmitted
   bool sacked = false;
   bool lost = false;                  // marked lost (pending retransmit)
@@ -30,7 +35,7 @@ struct SegmentState {
   TimePoint first_sent;
   TimePoint last_sent;
 
-  std::uint32_t len() const { return end - start; }
+  std::uint32_t len() const { return net::distance(start, end); }
   bool was_retransmitted() const { return retrans > 0; }
 };
 
@@ -38,25 +43,25 @@ class Scoreboard {
  public:
   /// Records a newly transmitted segment [start, end). Must be contiguous
   /// with the previous segment (start == snd_nxt).
-  void on_transmit(std::uint32_t start, std::uint32_t end, TimePoint now);
+  void on_transmit(Seq32 start, Seq32 end, TimePoint now);
 
   /// Records a retransmission of the segment containing `seq`.
   /// `rto` marks a native timeout retransmission (vs fast retransmit /
   /// probe). No-op if the segment is not tracked.
-  void on_retransmit(std::uint32_t seq, TimePoint now, bool rto);
+  void on_retransmit(Seq32 seq, TimePoint now, bool rto);
 
   /// Cumulative ACK up to `ack`: drops fully-acked segments. Returns the
   /// acked segments' states for RTT sampling (Karn filtering by caller).
-  std::vector<SegmentState> ack_to(std::uint32_t ack);
+  std::vector<SegmentState> ack_to(Seq32 ack);
 
   /// Applies SACK blocks; returns the number of newly SACKed segments and
   /// optionally their pre-update states (for SACK-time RTT sampling).
   /// Blocks below snd_una (DSACK) are ignored here.
   std::uint32_t apply_sack(std::span<const net::SackBlock> blocks,
-                           std::uint32_t snd_una,
+                           Seq32 snd_una,
                            std::vector<SegmentState>* newly_sacked = nullptr);
   std::uint32_t apply_sack(std::initializer_list<net::SackBlock> blocks,
-                           std::uint32_t snd_una,
+                           Seq32 snd_una,
                            std::vector<SegmentState>* newly_sacked = nullptr) {
     return apply_sack(std::span<const net::SackBlock>(blocks.begin(), blocks.size()),
                       snd_una, newly_sacked);
@@ -73,7 +78,7 @@ class Scoreboard {
   std::uint32_t mark_lost_by_fack(std::uint32_t dupthres, std::uint32_t mss);
 
   /// Highest SACKed sequence (snd_fack); snd_una when nothing is SACKed.
-  std::uint32_t highest_sacked() const;
+  Seq32 highest_sacked() const;
 
   /// Marks the head (first unSACKed) segment lost. Returns true if marked.
   bool mark_head_lost();
@@ -105,27 +110,27 @@ class Scoreboard {
   const SegmentState* last_unsacked() const;
 
   bool empty() const { return segs_.empty(); }
-  std::uint32_t snd_una() const { return segs_.empty() ? next_start_ : segs_.front().start; }
-  std::uint32_t snd_nxt() const { return next_start_; }
+  Seq32 snd_una() const { return segs_.empty() ? next_start_ : segs_.front().start; }
+  Seq32 snd_nxt() const { return next_start_; }
 
   /// First segment marked lost and not yet retransmitted since marking, or
   /// nullopt. ("Not yet" = lost && !currently counted in retrans_out.)
-  std::optional<std::uint32_t> next_lost_to_retransmit() const;
+  std::optional<Seq32> next_lost_to_retransmit() const;
 
-  const SegmentState* find(std::uint32_t seq) const;
+  const SegmentState* find(Seq32 seq) const;
   const SegmentState* head() const { return segs_.empty() ? nullptr : &segs_.front(); }
   const SegmentState* tail() const { return segs_.empty() ? nullptr : &segs_.back(); }
   const std::deque<SegmentState>& segments() const { return segs_; }
 
  private:
-  SegmentState* find_mut(std::uint32_t seq);
+  SegmentState* find_mut(Seq32 seq);
 
   void set_sacked(SegmentState& s);
   void set_lost(SegmentState& s);
   void clear_retrans_pending(SegmentState& s);
 
   std::deque<SegmentState> segs_;
-  std::uint32_t next_start_ = 0;  // snd_nxt
+  Seq32 next_start_;  // snd_nxt
   bool started_ = false;
   std::uint32_t sacked_out_ = 0;
   std::uint32_t lost_out_ = 0;

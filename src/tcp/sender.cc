@@ -11,7 +11,7 @@ namespace tapo::tcp {
 using telemetry::EventKind;
 
 void TcpSender::note_segment(const SegmentOut& out) {
-  TAPO_TRACE(EventKind::kSegmentTx, sim_.now().us(), out.seq,
+  TAPO_TRACE(EventKind::kSegmentTx, sim_.now().us(), out.seq.raw(),
              static_cast<std::uint64_t>(out.len) |
                  (out.retransmission ? 1ull << 63 : 0));
   if (telemetry::metrics_enabled()) {
@@ -55,7 +55,7 @@ TcpSender::TcpSender(sim::Simulator& sim, SenderConfig config, SendSegmentFn sen
   dupthres_ = config_.dupthres;
 }
 
-void TcpSender::start(std::uint32_t isn) {
+void TcpSender::start(Seq32 isn) {
   isn_ = isn;
   snd_una_ = isn;
   snd_nxt_ = isn;
@@ -65,7 +65,7 @@ void TcpSender::start(std::uint32_t isn) {
 
 void TcpSender::app_write(std::uint64_t bytes) {
   assert(started_ && !fin_pending_);
-  write_seq_ += static_cast<std::uint32_t>(bytes);
+  write_seq_ = net::advance(write_seq_, bytes);
   try_send();
   rearm_timer();
 }
@@ -86,27 +86,29 @@ std::uint32_t TcpSender::send_window_segments() const {
 }
 
 bool TcpSender::can_send_new() const {
-  const bool data_left = snd_nxt_ < write_seq_;
+  const bool data_left = net::before(snd_nxt_, write_seq_);
   const bool fin_left = fin_pending_ && !fin_sent_ && snd_nxt_ == write_seq_;
   if (!data_left && !fin_left) return false;
   if (board_.in_flight() >= send_window_segments()) return false;
   // Receive window: need room for at least one new byte (FIN needs none in
   // practice, but we keep it symmetric and let the persist path handle 0).
-  // 64-bit arithmetic: una + rwnd can exceed the 32-bit space.
-  const std::uint64_t wnd_edge =
-      static_cast<std::uint64_t>(snd_una_) + rwnd_bytes_;
-  if (data_left && snd_nxt_ >= wnd_edge) return false;
+  // Wrap-safe: compare the bytes already in the window against rwnd rather
+  // than materializing the (wrapping) right window edge.
+  if (data_left && net::distance(snd_una_, snd_nxt_) >= rwnd_bytes_) {
+    return false;
+  }
   return true;
 }
 
 bool TcpSender::send_new_segment() {
-  if (snd_nxt_ < write_seq_) {
-    const std::uint64_t wnd_edge =
-        static_cast<std::uint64_t>(snd_una_) + rwnd_bytes_;
-    std::uint32_t len = std::min(config_.mss, write_seq_ - snd_nxt_);
-    if (snd_nxt_ + len > wnd_edge) {
-      len = static_cast<std::uint32_t>(wnd_edge - snd_nxt_);
-    }
+  if (net::before(snd_nxt_, write_seq_)) {
+    // Window room left after the bytes already in flight ([una, nxt)).
+    const std::uint32_t in_window = net::distance(snd_una_, snd_nxt_);
+    const std::uint32_t wnd_room =
+        rwnd_bytes_ > in_window ? rwnd_bytes_ - in_window : 0;
+    std::uint32_t len =
+        std::min(config_.mss, net::distance(snd_nxt_, write_seq_));
+    len = std::min(len, wnd_room);
     if (len == 0) return false;
     board_.on_transmit(snd_nxt_, snd_nxt_ + len, sim_.now());
     SegmentOut out;
@@ -135,7 +137,7 @@ bool TcpSender::send_new_segment() {
   return false;
 }
 
-void TcpSender::retransmit(std::uint32_t seq, bool rto_retrans) {
+void TcpSender::retransmit(Seq32 seq, bool rto_retrans) {
   const SegmentState* seg = board_.find(seq);
   if (seg == nullptr) return;
   const bool is_fin = fin_sent_ && seg->start == fin_seq_;
@@ -185,7 +187,7 @@ void TcpSender::try_send() {
     if (pace) pace_next_ = sim_.now() + pacing_interval();
   }
   const bool data_left =
-      snd_nxt_ < write_seq_ || (fin_pending_ && !fin_sent_);
+      net::before(snd_nxt_, write_seq_) || (fin_pending_ && !fin_sent_);
   // Pacing-gated rounds still count as window-limited for cwnd growth —
   // the application is not the bottleneck, the pacer is.
   cwnd_limited_ =
@@ -203,7 +205,7 @@ void TcpSender::enter_recovery() {
 }
 
 void TcpSender::maybe_complete_recovery() {
-  if (snd_una_ < high_seq_) return;
+  if (net::before(snd_una_, high_seq_)) return;
   if (state_ == CaState::kRecovery) {
     // tcp_complete_cwr: settle at ssthresh.
     cwnd_ = std::min(cwnd_, std::max<std::uint32_t>(ssthresh_, 2));
@@ -214,11 +216,11 @@ void TcpSender::maybe_complete_recovery() {
   board_.clear_lost_marks();
 }
 
-void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
+void TcpSender::on_ack(Seq32 ack, std::uint32_t rwnd_bytes,
                        std::span<const net::SackBlock> sack_blocks,
                        std::optional<net::SackBlock> dsack, bool carries_data) {
   if (!started_ || finished_) return;
-  TAPO_TRACE(EventKind::kAckRx, sim_.now().us(), ack, rwnd_bytes);
+  TAPO_TRACE(EventKind::kAckRx, sim_.now().us(), ack.raw(), rwnd_bytes);
   const bool was_cwnd_limited = cwnd_limited_;
   const std::uint32_t prev_rwnd = rwnd_bytes_;
   rwnd_bytes_ = rwnd_bytes;
@@ -242,7 +244,8 @@ void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
     // that probe was unnecessary; stretch the probe timer.
     if (config_.srto.adaptive) {
       for (auto it = probed_ranges_.begin(); it != probed_ranges_.end(); ++it) {
-        if (dsack->start < it->end && dsack->end > it->start) {
+        if (net::before(dsack->start, it->end) &&
+            net::after(dsack->end, it->start)) {
           ++stats_.srto_spurious_probes;
           srto_backoff_level_ =
               std::min(srto_backoff_level_ + 1, config_.srto.max_backoff_level);
@@ -269,7 +272,7 @@ void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
     }
     if (have) rto_.sample(sim_.now() - newest);
   }
-  const bool ack_advanced = ack > snd_una_;
+  const bool ack_advanced = net::after(ack, snd_una_);
   std::uint32_t n_acked = 0;
 
   if (ack_advanced) {
@@ -294,7 +297,8 @@ void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
     // Adaptive S-RTO verdict: a probed range acked without a DSACK means
     // the probe did its job; relax the probe timer.
     if (config_.srto.adaptive) {
-      while (!probed_ranges_.empty() && probed_ranges_.front().end <= ack) {
+      while (!probed_ranges_.empty() &&
+             net::at_or_before(probed_ranges_.front().end, ack)) {
         srto_backoff_level_ = std::max(srto_backoff_level_ - 1, 0);
         probed_ranges_.pop_front();
       }
@@ -315,7 +319,7 @@ void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
       bool enter = newly_lost > 0 ||
                    (dupacks_ >= dupthres_ && board_.packets_out() > 0);
       if (!enter && config_.early_retransmit && board_.packets_out() > 0 &&
-          board_.packets_out() < 4 && snd_nxt_ >= write_seq_) {
+          board_.packets_out() < 4 && net::at_or_after(snd_nxt_, write_seq_)) {
         // RFC 5827: with < 4 outstanding and no new data, lower the dup
         // threshold to packets_out - 1 (min 1).
         const std::uint32_t er = std::max<std::uint32_t>(
@@ -338,7 +342,8 @@ void TcpSender::on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
       } else {
         board_.mark_lost_by_sack(dupthres_);
       }
-      if (ack_advanced && snd_una_ < high_seq_ && board_.packets_out() > 0) {
+      if (ack_advanced && net::before(snd_una_, high_seq_) &&
+          board_.packets_out() > 0) {
         // NewReno partial ACK: the next unSACKed hole is lost, and its
         // retransmission goes out immediately.
         if (board_.lost_out() == 0) board_.mark_head_lost();
@@ -373,7 +378,10 @@ void TcpSender::maybe_undo_spurious_rto(
   if (state_ != CaState::kLoss) return;
   // The DSACK must report the segment the RTO retransmitted: the original
   // made it after all, so the collapse to cwnd=1 was unnecessary.
-  if (dsack->start > undo_seq_ || dsack->end <= undo_seq_) return;
+  if (net::after(dsack->start, undo_seq_) ||
+      net::at_or_before(dsack->end, undo_seq_)) {
+    return;
+  }
   undo_armed_ = false;
   ++stats_.spurious_rto_undos;
   cwnd_ = undo_cwnd_;
@@ -405,9 +413,9 @@ void TcpSender::rearm_timer() {
   // long-closed window never collapses cwnd.
   const bool persist_mode =
       zero_window_ &&
-      (snd_nxt_ < write_seq_ || (fin_pending_ && !fin_sent_) ||
+      (net::before(snd_nxt_, write_seq_) || (fin_pending_ && !fin_sent_) ||
        board_.packets_out() > 0) &&
-      board_.snd_una() >= zero_window_seq_;
+      net::at_or_after(board_.snd_una(), zero_window_seq_);
   if (persist_mode) {
     if (timer_mode_ != TimerMode::kPersist || !timer_.armed()) {
       persist_interval_ = persist_interval_ == Duration::zero()
@@ -525,7 +533,7 @@ void TcpSender::fire_tlp() {
     return;
   }
   ++stats_.tlp_probes;
-  TAPO_TRACE(EventKind::kTlpProbe, sim_.now().us(), snd_nxt_,
+  TAPO_TRACE(EventKind::kTlpProbe, sim_.now().us(), snd_nxt_.raw(),
              board_.packets_out());
   if (telemetry::metrics_enabled()) {
     static auto& tlp_probes =
@@ -552,7 +560,7 @@ void TcpSender::fire_srto() {
   // Algorithm 1, trigger_srto: retransmit the first unacknowledged packet;
   // conditionally halve cwnd; enter Recovery; fall back to the native RTO.
   ++stats_.srto_probes;
-  TAPO_TRACE(EventKind::kSrtoProbe, sim_.now().us(), snd_una_,
+  TAPO_TRACE(EventKind::kSrtoProbe, sim_.now().us(), snd_una_.raw(),
              board_.packets_out());
   if (telemetry::metrics_enabled()) {
     static auto& srto_probes =
@@ -583,7 +591,8 @@ void TcpSender::fire_srto() {
 
 void TcpSender::fire_persist() {
   ++stats_.persist_probes;
-  TAPO_TRACE(EventKind::kPersistProbe, sim_.now().us(), snd_nxt_, rwnd_bytes_);
+  TAPO_TRACE(EventKind::kPersistProbe, sim_.now().us(), snd_nxt_.raw(),
+             rwnd_bytes_);
   if (telemetry::metrics_enabled()) {
     static auto& persist_probes = telemetry::Registry::instance().counter(
         "tapo_tcp_persist_probes_total");
@@ -596,7 +605,7 @@ void TcpSender::fire_persist() {
     if (const SegmentState* head = board_.head()) {
       retransmit(head->start, /*rto_retrans=*/false);
     }
-  } else if (snd_nxt_ < write_seq_) {
+  } else if (net::before(snd_nxt_, write_seq_)) {
     board_.on_transmit(snd_nxt_, snd_nxt_ + 1, sim_.now());
     SegmentOut out;
     out.seq = snd_nxt_;
@@ -612,7 +621,7 @@ void TcpSender::fire_persist() {
 
 void TcpSender::check_done() {
   if (finished_ || !fin_pending_ || !fin_sent_) return;
-  if (snd_una_ >= fin_seq_ + 1) {
+  if (net::at_or_after(snd_una_, fin_seq_ + 1)) {
     finished_ = true;
     timer_.cancel();
     timer_mode_ = TimerMode::kNone;

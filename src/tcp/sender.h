@@ -100,7 +100,7 @@ struct SenderStats {
 class TcpSender {
  public:
   struct SegmentOut {
-    std::uint32_t seq = 0;
+    Seq32 seq;
     std::uint32_t len = 0;  // payload bytes (0 for a bare FIN)
     bool fin = false;
     bool retransmission = false;
@@ -112,7 +112,7 @@ class TcpSender {
   TcpSender(sim::Simulator& sim, SenderConfig config, SendSegmentFn send);
 
   /// Begins the data stream at `isn` (sequence of the first payload byte).
-  void start(std::uint32_t isn);
+  void start(Seq32 isn);
 
   /// Seeds the RTT estimator from the handshake (SYN-ACK -> ACK), as Linux
   /// does — without it the RTO stays at the 3 s initial value until the
@@ -128,10 +128,10 @@ class TcpSender {
   /// Processes an incoming ACK. `rwnd_bytes` is the scaled window. `dsack`
   /// is set when the leading SACK block reported a duplicate.
   /// `carries_data` marks piggybacked ACKs (they never count as dupacks).
-  void on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
+  void on_ack(Seq32 ack, std::uint32_t rwnd_bytes,
               std::span<const net::SackBlock> sack_blocks,
               std::optional<net::SackBlock> dsack, bool carries_data = false);
-  void on_ack(std::uint32_t ack, std::uint32_t rwnd_bytes,
+  void on_ack(Seq32 ack, std::uint32_t rwnd_bytes,
               std::initializer_list<net::SackBlock> sack_blocks,
               std::optional<net::SackBlock> dsack, bool carries_data = false) {
     on_ack(ack, rwnd_bytes,
@@ -146,9 +146,9 @@ class TcpSender {
   std::uint32_t cwnd() const { return cwnd_; }
   std::uint32_t ssthresh() const { return ssthresh_; }
   std::uint32_t dupthres() const { return dupthres_; }
-  std::uint32_t snd_una() const { return snd_una_; }
-  std::uint32_t snd_nxt() const { return snd_nxt_; }
-  std::uint32_t write_seq() const { return write_seq_; }
+  Seq32 snd_una() const { return snd_una_; }
+  Seq32 snd_nxt() const { return snd_nxt_; }
+  Seq32 write_seq() const { return write_seq_; }
   std::uint32_t in_flight() const { return board_.in_flight(); }
   std::uint32_t packets_out() const { return board_.packets_out(); }
   std::uint32_t peer_rwnd() const { return rwnd_bytes_; }
@@ -162,7 +162,7 @@ class TcpSender {
 
   void try_send();
   bool send_new_segment();
-  void retransmit(std::uint32_t seq, bool rto_retrans);
+  void retransmit(Seq32 seq, bool rto_retrans);
   void retransmit_pending_lost();
   std::uint32_t send_window_segments() const;
   bool can_send_new() const;
@@ -197,16 +197,16 @@ class TcpSender {
   std::uint32_t ssthresh_ = 0x7fffffff;
   std::uint32_t dupthres_ = 3;
   std::uint32_t dupacks_ = 0;
-  std::uint32_t high_seq_ = 0;       // recovery/loss exit point
+  Seq32 high_seq_;                   // recovery/loss exit point
   std::uint32_t prr_ack_counter_ = 0;
 
-  std::uint32_t isn_ = 0;
-  std::uint32_t snd_una_ = 0;
-  std::uint32_t snd_nxt_ = 0;
-  std::uint32_t write_seq_ = 0;      // end of app-provided data
+  Seq32 isn_;
+  Seq32 snd_una_;
+  Seq32 snd_nxt_;
+  Seq32 write_seq_;                  // end of app-provided data
   bool fin_pending_ = false;         // app_close called
   bool fin_sent_ = false;
-  std::uint32_t fin_seq_ = 0;        // seq consumed by FIN (when sent)
+  Seq32 fin_seq_;                    // seq consumed by FIN (when sent)
 
   std::uint32_t rwnd_bytes_ = 0xffffffff;
   bool zero_window_ = false;
@@ -214,7 +214,7 @@ class TcpSender {
   /// snd_nxt when the current zero-window episode began: data sent before
   /// it is still governed by the RTO; probe bytes sent at/after it are
   /// governed by the persist timer.
-  std::uint32_t zero_window_seq_ = 0;
+  Seq32 zero_window_seq_;
 
   sim::Timer timer_;
   TimerMode timer_mode_ = TimerMode::kNone;
@@ -224,7 +224,7 @@ class TcpSender {
   /// Saved window state for spurious-RTO undo.
   std::uint32_t undo_cwnd_ = 0;
   std::uint32_t undo_ssthresh_ = 0;
-  std::uint32_t undo_seq_ = 0;  // head seq the pending undo applies to
+  Seq32 undo_seq_;              // head seq the pending undo applies to
   bool undo_armed_ = false;
 
   /// Adaptive S-RTO: recently probed ranges awaiting a verdict, and the

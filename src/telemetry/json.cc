@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "util/env.h"
+
 namespace tapo::telemetry {
 
 std::string json_quote(const std::string& s) {
@@ -179,8 +181,12 @@ class Parser {
             }
             // Decode to a single byte when in range; multi-byte code
             // points are not produced by our exporters.
-            const unsigned cp = static_cast<unsigned>(
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            const auto hex = util::parse_hex_u16(text_.substr(pos_, 4));
+            if (!hex) {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+            const unsigned cp = *hex;
             pos_ += 4;
             if (cp < 0x80) {
               out += static_cast<char>(cp);

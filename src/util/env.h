@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -18,5 +19,18 @@ std::optional<std::size_t> parse_positive_size(const std::string& text);
 /// Reads env var `name` as a positive size. Unset -> `dflt`; malformed or
 /// zero -> warning on stderr + `dflt`.
 std::size_t env_positive_size(const char* name, std::size_t dflt);
+
+/// Strict parse of an unsigned decimal integer. Unlike parse_positive_size
+/// it accepts zero; it still rejects empty strings, signs, trailing junk,
+/// and overflow.
+std::optional<std::uint64_t> parse_u64(const std::string& text);
+
+/// Strict parse of 1-4 hexadecimal digits (no 0x prefix, either case).
+/// Rejects empty strings, longer inputs, and any non-hex character.
+std::optional<std::uint16_t> parse_hex_u16(const std::string& text);
+
+/// Reads env var `name` as a non-negative size (zero allowed). Unset ->
+/// `dflt`; malformed -> warning on stderr + `dflt`.
+std::size_t env_size(const char* name, std::size_t dflt);
 
 }  // namespace tapo::util

@@ -33,6 +33,7 @@ void WorkerPool::for_each(std::size_t count, const Task& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   task_ = &fn;
   count_ = count;
+  // tapo-lint: allow(relaxed-atomic) — publication ordered by the mutex
   next_.store(0, std::memory_order_relaxed);
   active_ = threads_.size();
   busy_s_.assign(threads_.size(), 0.0);
@@ -60,6 +61,7 @@ void WorkerPool::worker_main(std::size_t id) {
 
     double busy = 0.0;
     while (true) {
+      // tapo-lint: allow(relaxed-atomic) — pure work-stealing counter
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       const auto t0 = std::chrono::steady_clock::now();
@@ -69,6 +71,7 @@ void WorkerPool::worker_main(std::size_t id) {
         std::lock_guard<std::mutex> lock(mu_);
         if (!error_) error_ = std::current_exception();
         // Fast-forward the cursor so every worker abandons the job.
+        // tapo-lint: allow(relaxed-atomic) — best-effort cancel; mutex above
         next_.store(count, std::memory_order_relaxed);
       }
       busy += seconds_since(t0);

@@ -22,15 +22,15 @@ struct FlowBuilder {
     flow.server_to_client = {0xc0a80101, 0x0a000001, 80, 40001};
     flow.saw_syn = true;
     flow.saw_synack = true;
-    flow.server_isn = kServerIsn;
-    flow.client_isn = kClientIsn;
+    flow.server_isn = net::Seq32{kServerIsn};
+    flow.client_isn = net::Seq32{kClientIsn};
     flow.mss = kMss;
     flow.sack_permitted = true;
     flow.init_rwnd_bytes = kBigWindow;
   }
 
-  static std::uint32_t seg(int i) {
-    return kServerIsn + 1 + static_cast<std::uint32_t>(i) * kMss;
+  static net::Seq32 seg(int i) {
+    return net::Seq32{kServerIsn + 1 + static_cast<std::uint32_t>(i) * kMss};
   }
 
   FlowPacket& add(double t, bool from_server) {
@@ -43,22 +43,22 @@ struct FlowBuilder {
 
   void handshake(double t = 0.0, double rtt = 0.1) {
     auto& syn = add(t, false);
-    syn.seq = kClientIsn;
+    syn.seq = net::Seq32{kClientIsn};
     syn.flags.syn = true;
     auto& synack = add(t, true);
-    synack.seq = kServerIsn;
-    synack.ack = kClientIsn + 1;
+    synack.seq = net::Seq32{kServerIsn};
+    synack.ack = net::Seq32{kClientIsn + 1};
     synack.flags.syn = true;
     synack.flags.ack = true;
     auto& ack = add(t + rtt, false);
-    ack.seq = kClientIsn + 1;
-    ack.ack = kServerIsn + 1;
+    ack.seq = net::Seq32{kClientIsn + 1};
+    ack.ack = net::Seq32{kServerIsn + 1};
     ack.flags.ack = true;
   }
 
   void request(double t, std::uint32_t len = 200) {
     auto& p = add(t, false);
-    p.seq = kClientIsn + 1;
+    p.seq = net::Seq32{kClientIsn + 1};
     p.flags.ack = true;
     p.payload = len;
   }
@@ -77,9 +77,9 @@ struct FlowBuilder {
     p.flags.fin = true;
   }
 
-  void ack(double t, std::uint32_t ackno, std::uint32_t window = kBigWindow) {
+  void ack(double t, net::Seq32 ackno, std::uint32_t window = kBigWindow) {
     auto& p = add(t, false);
-    p.seq = kClientIsn + 201;
+    p.seq = net::Seq32{kClientIsn + 201};
     p.ack = ackno;
     p.flags.ack = true;
     p.window = window;

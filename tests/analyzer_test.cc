@@ -22,16 +22,16 @@ struct FlowBuilder {
     flow.server_to_client = {0xc0a80101, 0x0a000001, 80, 40001};
     flow.saw_syn = true;
     flow.saw_synack = true;
-    flow.server_isn = kServerIsn;
-    flow.client_isn = kClientIsn;
+    flow.server_isn = net::Seq32{kServerIsn};
+    flow.client_isn = net::Seq32{kClientIsn};
     flow.mss = kMss;
     flow.sack_permitted = true;
     flow.client_wscale = 0;
     flow.init_rwnd_bytes = kBigWindow;
   }
 
-  static std::uint32_t seg(int i) {
-    return kServerIsn + 1 + static_cast<std::uint32_t>(i) * kMss;
+  static net::Seq32 seg(int i) {
+    return net::Seq32{kServerIsn + 1 + static_cast<std::uint32_t>(i) * kMss};
   }
 
   FlowPacket& add(double t, bool from_server) {
@@ -46,27 +46,27 @@ struct FlowBuilder {
   /// Seeds the mimic's SRTT with `rtt`.
   void handshake(double t = 0.0, double rtt = 0.1) {
     auto& syn = add(t, false);
-    syn.seq = kClientIsn;
+    syn.seq = net::Seq32{kClientIsn};
     syn.flags.syn = true;
     auto& synack = add(t, true);
-    synack.seq = kServerIsn;
-    synack.ack = kClientIsn + 1;
+    synack.seq = net::Seq32{kServerIsn};
+    synack.ack = net::Seq32{kClientIsn + 1};
     synack.flags.syn = true;
     synack.flags.ack = true;
     auto& ack = add(t + rtt, false);
-    ack.seq = kClientIsn + 1;
-    ack.ack = kServerIsn + 1;
+    ack.seq = net::Seq32{kClientIsn + 1};
+    ack.ack = net::Seq32{kServerIsn + 1};
     ack.flags.ack = true;
   }
 
-  std::uint32_t next_req_seq = kClientIsn + 1;
+  net::Seq32 next_req_seq = net::Seq32{kClientIsn + 1};
 
   /// Client request of `len` bytes arriving at t.
   void request(double t, std::uint32_t len = 200, std::uint32_t req_seq = 0) {
     auto& p = add(t, false);
-    p.seq = req_seq ? req_seq : next_req_seq;
+    p.seq = req_seq ? net::Seq32{req_seq} : next_req_seq;
     next_req_seq = p.seq + len;
-    p.ack = 0;  // caller may not care
+    p.ack = net::Seq32{0};  // caller may not care
     p.flags.ack = true;
     p.payload = len;
   }
@@ -86,7 +86,7 @@ struct FlowBuilder {
            std::vector<std::pair<int, int>> sack_segs = {},
            std::uint32_t window = kBigWindow) {
     auto& p = add(t, false);
-    p.seq = kClientIsn + 1;
+    p.seq = net::Seq32{kClientIsn + 1};
     p.ack = seg(upto);
     p.flags.ack = true;
     p.window = window;
@@ -421,7 +421,7 @@ TEST(Analyzer, AckDelayLossStall) {
   // ...and the client's (delayed) ACK reveals everything arrived: DSACK.
   {
     auto& p = b.add(t + 0.6, false);
-    p.seq = kClientIsn + 201;
+    p.seq = net::Seq32{kClientIsn + 201};
     p.ack = FlowBuilder::seg(16);
     p.flags.ack = true;
     p.window = kBigWindow;
@@ -532,7 +532,7 @@ TEST(Analyzer, SpuriousFastRetransmitCountedViaDsack) {
   // ...but the original arrives: cumulative ack + DSACK for segment 0.
   {
     auto& p = b.add(t + 0.2, false);
-    p.seq = kClientIsn + 201;
+    p.seq = net::Seq32{kClientIsn + 201};
     p.ack = FlowBuilder::seg(5);
     p.flags.ack = true;
     p.window = kBigWindow;

@@ -13,11 +13,14 @@ namespace {
 
 constexpr std::uint32_t kMss = 1000;
 
+// Shorthand: tests build sequence positions from small raw integers.
+constexpr Seq32 S(std::uint32_t v) { return Seq32{v}; }
+
 Scoreboard make_board(int segments) {
   Scoreboard b;
   for (int i = 0; i < segments; ++i) {
     const auto s = static_cast<std::uint32_t>(1 + i * kMss);
-    b.on_transmit(s, s + kMss, TimePoint::epoch());
+    b.on_transmit(S(s), S(s + kMss), TimePoint::epoch());
   }
   return b;
 }
@@ -25,10 +28,10 @@ Scoreboard make_board(int segments) {
 TEST(Fack, HighestSacked) {
   auto b = make_board(5);
   EXPECT_EQ(b.highest_sacked(), b.snd_una());
-  b.apply_sack({{1 + 2 * kMss, 1 + 3 * kMss}}, 1);
-  EXPECT_EQ(b.highest_sacked(), 1 + 3 * kMss);
-  b.apply_sack({{1 + 4 * kMss, 1 + 5 * kMss}}, 1);
-  EXPECT_EQ(b.highest_sacked(), 1 + 5 * kMss);
+  b.apply_sack({{S(1 + 2 * kMss), S(1 + 3 * kMss)}}, S(1));
+  EXPECT_EQ(b.highest_sacked(), S(1 + 3 * kMss));
+  b.apply_sack({{S(1 + 4 * kMss), S(1 + 5 * kMss)}}, S(1));
+  EXPECT_EQ(b.highest_sacked(), S(1 + 5 * kMss));
 }
 
 TEST(Fack, MarksMultipleHolesAtOnce) {
@@ -36,16 +39,16 @@ TEST(Fack, MarksMultipleHolesAtOnce) {
   // above < dupthres 3) marks nothing; FACK (fack - end >= 3*mss) marks
   // segments 0, 1 and 2.
   auto b = make_board(6);
-  b.apply_sack({{1 + 5 * kMss, 1 + 6 * kMss}}, 1);
+  b.apply_sack({{S(1 + 5 * kMss), S(1 + 6 * kMss)}}, S(1));
   auto rfc = make_board(6);
-  rfc.apply_sack({{1 + 5 * kMss, 1 + 6 * kMss}}, 1);
+  rfc.apply_sack({{S(1 + 5 * kMss), S(1 + 6 * kMss)}}, S(1));
 
   EXPECT_EQ(rfc.mark_lost_by_sack(3), 0u);
   EXPECT_EQ(b.mark_lost_by_fack(3, kMss), 3u);
-  EXPECT_TRUE(b.find(1)->lost);
-  EXPECT_TRUE(b.find(1 + 2 * kMss)->lost);  // exactly 3*mss below fack
-  EXPECT_FALSE(b.find(1 + 3 * kMss)->lost);  // within the margin
-  EXPECT_FALSE(b.find(1 + 5 * kMss)->lost);  // the SACKed segment itself
+  EXPECT_TRUE(b.find(S(1))->lost);
+  EXPECT_TRUE(b.find(S(1 + 2 * kMss))->lost);  // exactly 3*mss below fack
+  EXPECT_FALSE(b.find(S(1 + 3 * kMss))->lost);  // within the margin
+  EXPECT_FALSE(b.find(S(1 + 5 * kMss))->lost);  // the SACKed segment itself
 }
 
 TEST(Fack, NothingMarkedWithoutSacks) {
@@ -55,7 +58,7 @@ TEST(Fack, NothingMarkedWithoutSacks) {
 
 TEST(Fack, Idempotent) {
   auto b = make_board(6);
-  b.apply_sack({{1 + 5 * kMss, 1 + 6 * kMss}}, 1);
+  b.apply_sack({{S(1 + 5 * kMss), S(1 + 6 * kMss)}}, S(1));
   EXPECT_EQ(b.mark_lost_by_fack(3, kMss), 3u);
   EXPECT_EQ(b.mark_lost_by_fack(3, kMss), 0u);
 }
@@ -73,12 +76,12 @@ TEST(Fack, SenderRecoversMultiLossFaster) {
     std::vector<TcpSender::SegmentOut> sent;
     TcpSender snd(sim, cfg,
                   [&](const TcpSender::SegmentOut& s) { sent.push_back(s); });
-    snd.start(1);
+    snd.start(S(1));
     for (int i = 0; i < 20; ++i) snd.seed_rtt(Duration::millis(100));
     snd.app_write(10 * kMss);
     sim.run_until(sim.now() + Duration::millis(10));
     // Segments 0..3 lost; the client SACKs segment 8 first (big jump).
-    snd.on_ack(1, 1 << 20, {{1 + 8 * kMss, 1 + 9 * kMss}}, std::nullopt);
+    snd.on_ack(S(1), 1 << 20, {{S(1 + 8 * kMss), S(1 + 9 * kMss)}}, std::nullopt);
     return snd.state();
   };
   EXPECT_EQ(run(true), CaState::kRecovery);   // FACK: 8*mss gap => lost

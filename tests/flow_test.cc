@@ -87,7 +87,7 @@ TEST(Demux, HandshakeParamsExtracted) {
   auto syn = pkt(1, 10, 20, 1111, 80);
   syn.tcp.flags = net::TcpFlags{};
   syn.tcp.flags.syn = true;
-  syn.tcp.seq = 999;
+  syn.tcp.seq = net::Seq32{999};
   syn.tcp.window = 5840;
   syn.tcp.mss = 1400;
   syn.tcp.sack_permitted = true;
@@ -96,7 +96,7 @@ TEST(Demux, HandshakeParamsExtracted) {
   auto synack = pkt(2, 20, 10, 80, 1111);
   synack.tcp.flags.syn = true;
   synack.tcp.flags.ack = true;
-  synack.tcp.seq = 7777;
+  synack.tcp.seq = net::Seq32{7777};
   trace.add(synack);
   auto ack = pkt(3, 10, 20, 1111, 80);
   ack.tcp.window = 100;  // scaled by 2^7 = 12800 bytes
@@ -105,8 +105,8 @@ TEST(Demux, HandshakeParamsExtracted) {
   const auto flows = demux_flows(trace);
   ASSERT_EQ(flows.size(), 1u);
   const auto& f = flows[0];
-  EXPECT_EQ(f.client_isn, 999u);
-  EXPECT_EQ(f.server_isn, 7777u);
+  EXPECT_EQ(f.client_isn, net::Seq32{999});
+  EXPECT_EQ(f.server_isn, net::Seq32{7777});
   EXPECT_EQ(f.mss, 1400);
   EXPECT_TRUE(f.sack_permitted);
   EXPECT_EQ(f.client_wscale, 7);

@@ -124,7 +124,7 @@ TEST(Live, ElephantFlowTruncated) {
     net::CapturedPacket p;
     p.timestamp = TimePoint::from_us(i * 100);
     p.key = {1, 2, 1000, 80};
-    p.tcp.seq = static_cast<std::uint32_t>(1 + i * 100);
+    p.tcp.seq = net::Seq32{static_cast<std::uint32_t>(1 + i * 100)};
     p.payload_len = 100;
     p.tcp.flags.ack = true;
     live.add_packet(p);
@@ -173,7 +173,7 @@ TEST(Live, EvictedFlowStillProducesAnalysis) {
     net::CapturedPacket p;
     p.timestamp = TimePoint::from_us(i * 1000);
     p.key = {2, 1, 80, 1000};  // server -> client
-    p.tcp.seq = static_cast<std::uint32_t>(1 + i * 100);
+    p.tcp.seq = net::Seq32{static_cast<std::uint32_t>(1 + i * 100)};
     p.payload_len = 100;
     p.tcp.flags.ack = true;
     live.add_packet(p);
@@ -204,7 +204,7 @@ TEST(Live, TruncationAccounting) {
     net::CapturedPacket p;
     p.timestamp = TimePoint::from_us(i * 100);
     p.key = {2, 1, 80, 1000};
-    p.tcp.seq = static_cast<std::uint32_t>(1 + i * 100);
+    p.tcp.seq = net::Seq32{static_cast<std::uint32_t>(1 + i * 100)};
     p.payload_len = 100;
     p.tcp.flags.ack = true;
     live.add_packet(p);

@@ -107,8 +107,8 @@ TEST(TcpHeader, MinimalRoundTrip) {
   TcpHeader h;
   h.src_port = 80;
   h.dst_port = 40000;
-  h.seq = 0x01020304;
-  h.ack = 0xa0b0c0d0;
+  h.seq = Seq32{0x01020304};
+  h.ack = Seq32{0xa0b0c0d0};
   h.flags.ack = true;
   h.window = 5840;
 
@@ -122,8 +122,8 @@ TEST(TcpHeader, MinimalRoundTrip) {
   EXPECT_EQ(hlen, n);
   EXPECT_EQ(p.src_port, 80);
   EXPECT_EQ(p.dst_port, 40000);
-  EXPECT_EQ(p.seq, 0x01020304u);
-  EXPECT_EQ(p.ack, 0xa0b0c0d0u);
+  EXPECT_EQ(p.seq, Seq32{0x01020304});
+  EXPECT_EQ(p.ack, Seq32{0xa0b0c0d0});
   EXPECT_TRUE(p.flags.ack);
   EXPECT_EQ(p.window, 5840);
   EXPECT_FALSE(p.mss.has_value());
@@ -158,7 +158,9 @@ TEST(TcpHeader, SynOptionsRoundTrip) {
 TEST(TcpHeader, SackBlocksRoundTrip) {
   TcpHeader h;
   h.flags.ack = true;
-  h.sack_blocks = {{1000, 2448}, {3896, 5344}, {6792, 8240}};
+  h.sack_blocks = {{Seq32{1000}, Seq32{2448}},
+                   {Seq32{3896}, Seq32{5344}},
+                   {Seq32{6792}, Seq32{8240}}};
 
   std::array<std::uint8_t, kTcpMaxHeaderLen> buf{};
   const std::size_t n = h.serialize(buf);
@@ -166,13 +168,17 @@ TEST(TcpHeader, SackBlocksRoundTrip) {
   std::size_t hlen = 0;
   ASSERT_TRUE(TcpHeader::parse(std::span(buf).subspan(0, n), p, hlen));
   ASSERT_EQ(p.sack_blocks.size(), 3u);
-  EXPECT_EQ(p.sack_blocks[0], (SackBlock{1000, 2448}));
-  EXPECT_EQ(p.sack_blocks[2], (SackBlock{6792, 8240}));
+  EXPECT_EQ(p.sack_blocks[0], (SackBlock{Seq32{1000}, Seq32{2448}}));
+  EXPECT_EQ(p.sack_blocks[2], (SackBlock{Seq32{6792}, Seq32{8240}}));
 }
 
 TEST(TcpHeader, AtMostFourSackBlocksSerialized) {
   TcpHeader h;
-  h.sack_blocks = {{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}};
+  h.sack_blocks = {{Seq32{1}, Seq32{2}},
+                   {Seq32{3}, Seq32{4}},
+                   {Seq32{5}, Seq32{6}},
+                   {Seq32{7}, Seq32{8}},
+                   {Seq32{9}, Seq32{10}}};
   std::array<std::uint8_t, kTcpMaxHeaderLen> buf{};
   const std::size_t n = h.serialize(buf);
   ASSERT_LE(n, kTcpMaxHeaderLen);
@@ -238,33 +244,33 @@ TEST(FlowKey, ToString) {
 
 TEST(CapturedPacket, EndSeqCountsSynFin) {
   CapturedPacket p;
-  p.tcp.seq = 100;
+  p.tcp.seq = Seq32{100};
   p.payload_len = 10;
-  EXPECT_EQ(p.end_seq(), 110u);
+  EXPECT_EQ(p.end_seq(), Seq32{110});
   p.tcp.flags.syn = true;
-  EXPECT_EQ(p.end_seq(), 111u);
+  EXPECT_EQ(p.end_seq(), Seq32{111});
   p.tcp.flags.fin = true;
-  EXPECT_EQ(p.end_seq(), 112u);
+  EXPECT_EQ(p.end_seq(), Seq32{112});
 }
 
 TEST(PacketTrace, SortByTimeIsStable) {
   PacketTrace t;
   CapturedPacket a;
   a.timestamp = TimePoint::from_us(200);
-  a.tcp.seq = 1;
+  a.tcp.seq = Seq32{1};
   CapturedPacket b;
   b.timestamp = TimePoint::from_us(100);
-  b.tcp.seq = 2;
+  b.tcp.seq = Seq32{2};
   CapturedPacket c;
   c.timestamp = TimePoint::from_us(200);
-  c.tcp.seq = 3;
+  c.tcp.seq = Seq32{3};
   t.add(a);
   t.add(b);
   t.add(c);
   t.sort_by_time();
-  EXPECT_EQ(t[0].tcp.seq, 2u);
-  EXPECT_EQ(t[1].tcp.seq, 1u);  // stable: a before c
-  EXPECT_EQ(t[2].tcp.seq, 3u);
+  EXPECT_EQ(t[0].tcp.seq, Seq32{2});
+  EXPECT_EQ(t[1].tcp.seq, Seq32{1});  // stable: a before c
+  EXPECT_EQ(t[2].tcp.seq, Seq32{3});
 }
 
 }  // namespace

@@ -24,8 +24,8 @@ net::CapturedPacket make_pkt(std::int64_t us, std::uint32_t seq,
     p.key = {net::ipv4_from_string("10.0.0.1"),
              net::ipv4_from_string("192.168.1.1"), 40000, 80};
   }
-  p.tcp.seq = seq;
-  p.tcp.ack = 1;
+  p.tcp.seq = net::Seq32{seq};
+  p.tcp.ack = net::Seq32{1};
   p.tcp.flags.ack = true;
   p.tcp.window = 1000;
   p.payload_len = payload;
@@ -43,7 +43,7 @@ TEST(Pcap, StreamRoundTrip) {
   trace.add(syn);
   trace.add(make_pkt(1'600'123, 1, 1448, true));
   auto ack = make_pkt(1'700'456, 1, 0, false);
-  ack.tcp.sack_blocks = {{2897, 4345}};
+  ack.tcp.sack_blocks = {{net::Seq32{2897}, net::Seq32{4345}}};
   trace.add(ack);
 
   std::stringstream ss;
@@ -68,7 +68,8 @@ TEST(Pcap, StreamRoundTrip) {
   EXPECT_EQ(back[1].key.src_ip, net::ipv4_from_string("192.168.1.1"));
 
   ASSERT_EQ(back[2].tcp.sack_blocks.size(), 1u);
-  EXPECT_EQ(back[2].tcp.sack_blocks[0], (net::SackBlock{2897, 4345}));
+  EXPECT_EQ(back[2].tcp.sack_blocks[0],
+            (net::SackBlock{net::Seq32{2897}, net::Seq32{4345}}));
 }
 
 TEST(Pcap, FileRoundTrip) {
@@ -84,7 +85,7 @@ TEST(Pcap, FileRoundTrip) {
   EXPECT_EQ(back.size(), 50u);
   for (int i = 0; i < 50; ++i) {
     EXPECT_EQ(back[i].timestamp.us(), 1000 * i);
-    EXPECT_EQ(back[i].tcp.seq, 1u + 1448u * i);
+    EXPECT_EQ(back[i].tcp.seq.raw(), 1u + 1448u * i);
   }
   std::remove(path.c_str());
 }
@@ -181,7 +182,7 @@ TEST(Pcap, EthernetLinktype) {
   ReadStats stats;
   const auto back = read_stream(ss, &stats);
   ASSERT_EQ(back.size(), 1u);
-  EXPECT_EQ(back[0].tcp.seq, 7u);
+  EXPECT_EQ(back[0].tcp.seq, net::Seq32{7});
   EXPECT_EQ(back[0].payload_len, 5u);
   EXPECT_EQ(back[0].timestamp.us(), 42);
 }
@@ -213,8 +214,8 @@ TEST(Pcap, LargeRandomTraceRoundTrip) {
                       rng.chance(0.5));
     if (rng.chance(0.2)) {
       p.tcp.sack_blocks.push_back(
-          {static_cast<std::uint32_t>(rng.next_u64()),
-           static_cast<std::uint32_t>(rng.next_u64())});
+          {net::Seq32{static_cast<std::uint32_t>(rng.next_u64())},
+           net::Seq32{static_cast<std::uint32_t>(rng.next_u64())}});
     }
     trace.add(p);
   }

@@ -59,7 +59,7 @@ std::string ip_frame(std::uint32_t seq, std::uint32_t payload) {
   net::CapturedPacket p;
   p.key = {net::ipv4_from_string("10.0.0.1"),
            net::ipv4_from_string("192.168.1.1"), 40001, 80};
-  p.tcp.seq = seq;
+  p.tcp.seq = net::Seq32{seq};
   p.tcp.flags.ack = true;
   p.payload_len = payload;
   t.add(p);
@@ -93,7 +93,7 @@ TEST(Pcapng, MinimalFileParses) {
   const auto trace = read_stream(ss, &st);
   EXPECT_EQ(st.records, 2u);
   ASSERT_EQ(trace.size(), 2u);
-  EXPECT_EQ(trace[0].tcp.seq, 777u);
+  EXPECT_EQ(trace[0].tcp.seq, net::Seq32{777});
   EXPECT_EQ(trace[0].timestamp.us(), 1'500'000);  // default 1e-6 resolution
   EXPECT_EQ(trace[1].payload_len, 50u);
   EXPECT_EQ(trace[1].timestamp.us(), 2'250'000);
@@ -124,7 +124,7 @@ TEST(Pcapng, EthernetFramesUnwrapped) {
   std::stringstream ss(file);
   const auto trace = read_stream(ss);
   ASSERT_EQ(trace.size(), 1u);
-  EXPECT_EQ(trace[0].tcp.seq, 42u);
+  EXPECT_EQ(trace[0].tcp.seq, net::Seq32{42});
   EXPECT_EQ(trace[0].payload_len, 25u);
 }
 
@@ -155,8 +155,8 @@ TEST(Pcapng, MultipleInterfacesUseOwnLinktype) {
   std::stringstream ss(file);
   const auto trace = read_stream(ss);
   ASSERT_EQ(trace.size(), 2u);
-  EXPECT_EQ(trace[0].tcp.seq, 8u);
-  EXPECT_EQ(trace[1].tcp.seq, 9u);
+  EXPECT_EQ(trace[0].tcp.seq, net::Seq32{8});
+  EXPECT_EQ(trace[1].tcp.seq, net::Seq32{9});
 }
 
 TEST(Pcapng, TruncatedFileKeepsPrefix) {

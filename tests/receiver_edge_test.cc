@@ -12,7 +12,7 @@ namespace tapo::tcp {
 namespace {
 
 constexpr std::uint32_t kMss = 1000;
-constexpr std::uint32_t kIsn = 100;
+constexpr net::Seq32 kIsn{100};
 
 struct Harness {
   sim::Simulator sim;
@@ -24,7 +24,7 @@ struct Harness {
         sim, cfg, [this](const TcpReceiver::AckSpec& a) { acks.push_back(a); });
     rcv->start(kIsn);
   }
-  std::uint32_t seg(int i) const {
+  net::Seq32 seg(int i) const {
     return kIsn + static_cast<std::uint32_t>(i) * kMss;
   }
   void data(int i) { rcv->on_data(seg(i), kMss); }

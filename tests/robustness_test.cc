@@ -61,7 +61,7 @@ TEST(Fuzz, PcapReaderSurvivesCorruption) {
     net::CapturedPacket p;
     p.timestamp = TimePoint::from_us(i * 1000);
     p.key = {1, 2, 1000, 80};
-    p.tcp.seq = static_cast<std::uint32_t>(i);
+    p.tcp.seq = net::Seq32{static_cast<std::uint32_t>(i)};
     p.payload_len = 100;
     trace.add(p);
   }
@@ -103,8 +103,8 @@ TEST(Fuzz, AnalyzerSurvivesRandomTraces) {
       const bool from_server = rng.chance(0.5);
       p.key = from_server ? net::FlowKey{2, 1, 80, 1000}
                           : net::FlowKey{1, 2, 1000, 80};
-      p.tcp.seq = static_cast<std::uint32_t>(rng.next_u64() % 100'000);
-      p.tcp.ack = static_cast<std::uint32_t>(rng.next_u64() % 100'000);
+      p.tcp.seq = net::Seq32{static_cast<std::uint32_t>(rng.next_u64() % 100'000)};
+      p.tcp.ack = net::Seq32{static_cast<std::uint32_t>(rng.next_u64() % 100'000)};
       p.tcp.flags.ack = rng.chance(0.9);
       p.tcp.flags.syn = rng.chance(0.05);
       p.tcp.flags.fin = rng.chance(0.05);
@@ -112,7 +112,7 @@ TEST(Fuzz, AnalyzerSurvivesRandomTraces) {
       p.payload_len = static_cast<std::uint32_t>(rng.uniform_int(0, 1448));
       if (rng.chance(0.2)) {
         const std::uint32_t s = static_cast<std::uint32_t>(rng.next_u64() % 100'000);
-        p.tcp.sack_blocks.push_back({s, s + 1448});
+        p.tcp.sack_blocks.push_back({net::Seq32{s}, net::Seq32{s + 1448}});
       }
       trace.add(p);
     }
@@ -156,7 +156,7 @@ TEST(Fuzz, AnalyzerHandlesSingleDirectionTrace) {
     net::CapturedPacket p;
     p.timestamp = TimePoint::from_us(i * 50'000);
     p.key = {2, 1, 80, 1000};
-    p.tcp.seq = 1 + static_cast<std::uint32_t>(i) * 1448;
+    p.tcp.seq = net::Seq32{1 + static_cast<std::uint32_t>(i) * 1448};
     p.tcp.flags.ack = true;
     p.payload_len = 1448;
     trace.add(p);
@@ -175,7 +175,7 @@ TEST(Fuzz, AnalyzerHandlesDuplicateTimestamps) {
     net::CapturedPacket p;
     p.timestamp = TimePoint::from_us(1000);  // all identical
     p.key = i % 2 ? net::FlowKey{2, 1, 80, 1000} : net::FlowKey{1, 2, 1000, 80};
-    p.tcp.seq = static_cast<std::uint32_t>(i);
+    p.tcp.seq = net::Seq32{static_cast<std::uint32_t>(i)};
     p.tcp.flags.ack = true;
     p.payload_len = i % 2 ? 100 : 0;
     trace.add(p);

@@ -8,11 +8,14 @@ namespace {
 
 constexpr std::uint32_t kMss = 1000;
 
+// Shorthand: tests build sequence positions from small raw integers.
+constexpr Seq32 S(std::uint32_t v) { return Seq32{v}; }
+
 Scoreboard make_board(int segments, TimePoint t = TimePoint::epoch()) {
   Scoreboard b;
   for (int i = 0; i < segments; ++i) {
     const auto s = static_cast<std::uint32_t>(1 + i * kMss);
-    b.on_transmit(s, s + kMss, t);
+    b.on_transmit(S(s), S(s + kMss), t);
   }
   return b;
 }
@@ -21,23 +24,23 @@ TEST(Scoreboard, TransmitTracksCounters) {
   auto b = make_board(5);
   EXPECT_EQ(b.packets_out(), 5u);
   EXPECT_EQ(b.in_flight(), 5u);
-  EXPECT_EQ(b.snd_una(), 1u);
-  EXPECT_EQ(b.snd_nxt(), 1u + 5 * kMss);
+  EXPECT_EQ(b.snd_una(), S(1));
+  EXPECT_EQ(b.snd_nxt(), S(1 + 5 * kMss));
   EXPECT_EQ(b.sacked_out(), 0u);
   EXPECT_EQ(b.lost_out(), 0u);
 }
 
 TEST(Scoreboard, AckToPopsFullyAcked) {
   auto b = make_board(5);
-  const auto acked = b.ack_to(1 + 2 * kMss);
+  const auto acked = b.ack_to(S(1 + 2 * kMss));
   EXPECT_EQ(acked.size(), 2u);
   EXPECT_EQ(b.packets_out(), 3u);
-  EXPECT_EQ(b.snd_una(), 1u + 2 * kMss);
+  EXPECT_EQ(b.snd_una(), S(1 + 2 * kMss));
 }
 
 TEST(Scoreboard, PartialAckKeepsSegment) {
   auto b = make_board(2);
-  const auto acked = b.ack_to(1 + kMss / 2);
+  const auto acked = b.ack_to(S(1 + kMss / 2));
   EXPECT_EQ(acked.size(), 0u);
   EXPECT_EQ(b.packets_out(), 2u);
 }
@@ -46,24 +49,24 @@ TEST(Scoreboard, SackMarksSegments) {
   auto b = make_board(5);
   // SACK covering segments 3 and 4 (0-indexed 2,3).
   const std::uint32_t s3 = 1 + 2 * kMss;
-  const auto n = b.apply_sack({{s3, s3 + 2 * kMss}}, b.snd_una());
+  const auto n = b.apply_sack({{S(s3), S(s3 + 2 * kMss)}}, b.snd_una());
   EXPECT_EQ(n, 2u);
   EXPECT_EQ(b.sacked_out(), 2u);
   EXPECT_EQ(b.in_flight(), 3u);
   // Re-applying the same SACK is idempotent.
-  EXPECT_EQ(b.apply_sack({{s3, s3 + 2 * kMss}}, b.snd_una()), 0u);
+  EXPECT_EQ(b.apply_sack({{S(s3), S(s3 + 2 * kMss)}}, b.snd_una()), 0u);
 }
 
 TEST(Scoreboard, SackBelowUnaIgnored) {
   auto b = make_board(5);
-  b.ack_to(1 + 2 * kMss);
-  EXPECT_EQ(b.apply_sack({{1, 1 + kMss}}, 1 + 2 * kMss), 0u);
+  b.ack_to(S(1 + 2 * kMss));
+  EXPECT_EQ(b.apply_sack({{S(1), S(1 + kMss)}}, S(1 + 2 * kMss)), 0u);
 }
 
 TEST(Scoreboard, PartialSackBlockDoesNotMark) {
   auto b = make_board(2);
   // Block covers only half of segment 1.
-  EXPECT_EQ(b.apply_sack({{1, 1 + kMss / 2}}, 1), 0u);
+  EXPECT_EQ(b.apply_sack({{S(1), S(1 + kMss / 2)}}, S(1)), 0u);
   EXPECT_EQ(b.sacked_out(), 0u);
 }
 
@@ -71,7 +74,7 @@ TEST(Scoreboard, MarkLostBySackThreshold) {
   auto b = make_board(6);
   // SACK the last three segments: segments 1..3 have 3 SACKed above.
   const std::uint32_t s4 = 1 + 3 * kMss;
-  b.apply_sack({{s4, s4 + 3 * kMss}}, 1);
+  b.apply_sack({{S(s4), S(s4 + 3 * kMss)}}, S(1));
   const auto newly = b.mark_lost_by_sack(3);
   EXPECT_EQ(newly, 3u);
   EXPECT_EQ(b.lost_out(), 3u);
@@ -84,7 +87,7 @@ TEST(Scoreboard, MarkLostBySackThreshold) {
 TEST(Scoreboard, MarkLostRespectsDupthres) {
   auto b = make_board(4);
   const std::uint32_t s3 = 1 + 2 * kMss;
-  b.apply_sack({{s3, s3 + 2 * kMss}}, 1);  // two SACKed above
+  b.apply_sack({{S(s3), S(s3 + 2 * kMss)}}, S(1));  // two SACKed above
   EXPECT_EQ(b.mark_lost_by_sack(3), 0u);   // below threshold
   EXPECT_EQ(b.mark_lost_by_sack(2), 2u);   // threshold reached
 }
@@ -93,7 +96,7 @@ TEST(Scoreboard, Holes) {
   auto b = make_board(5);
   const std::uint32_t s2 = 1 + kMss;
   const std::uint32_t s5 = 1 + 4 * kMss;
-  b.apply_sack({{s2, s2 + kMss}, {s5, s5 + kMss}}, 1);
+  b.apply_sack({{S(s2), S(s2 + kMss)}, {S(s5), S(s5 + kMss)}}, S(1));
   // Segments 1, 3, 4 are unSACKed; 1, 3, 4 all have a SACKed block above.
   EXPECT_EQ(b.holes(), 3u);
   b.mark_lost_by_sack(1);  // marks holes lost
@@ -102,9 +105,9 @@ TEST(Scoreboard, Holes) {
 
 TEST(Scoreboard, RetransmitBookkeeping) {
   auto b = make_board(3, TimePoint::from_us(1000));
-  b.on_retransmit(1, TimePoint::from_us(5000), /*rto=*/false);
+  b.on_retransmit(S(1), TimePoint::from_us(5000), /*rto=*/false);
   EXPECT_EQ(b.retrans_out(), 1u);
-  const SegmentState* s = b.find(1);
+  const SegmentState* s = b.find(S(1));
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->retrans, 1);
   EXPECT_TRUE(s->fast_retransmitted);
@@ -112,9 +115,9 @@ TEST(Scoreboard, RetransmitBookkeeping) {
   EXPECT_EQ(s->last_sent, TimePoint::from_us(5000));
   EXPECT_EQ(s->first_sent, TimePoint::from_us(1000));
 
-  b.on_retransmit(1, TimePoint::from_us(9000), /*rto=*/true);
-  EXPECT_TRUE(b.find(1)->rto_retransmitted);
-  EXPECT_EQ(b.find(1)->retrans, 2);
+  b.on_retransmit(S(1), TimePoint::from_us(9000), /*rto=*/true);
+  EXPECT_TRUE(b.find(S(1))->rto_retransmitted);
+  EXPECT_EQ(b.find(S(1))->retrans, 2);
 }
 
 TEST(Scoreboard, InFlightEquationWithRetrans) {
@@ -124,7 +127,7 @@ TEST(Scoreboard, InFlightEquationWithRetrans) {
   EXPECT_EQ(b.lost_out(), 1u);
   // in_flight = 5 + 0 - (0 + 1) = 4.
   EXPECT_EQ(b.in_flight(), 4u);
-  b.on_retransmit(1, TimePoint::epoch(), false);
+  b.on_retransmit(S(1), TimePoint::epoch(), false);
   // in_flight = 5 + 1 - (0 + 1) = 5.
   EXPECT_EQ(b.in_flight(), 5u);
 }
@@ -132,8 +135,8 @@ TEST(Scoreboard, InFlightEquationWithRetrans) {
 TEST(Scoreboard, SackClearsLostAndRetransPending) {
   auto b = make_board(3);
   b.mark_head_lost();
-  b.on_retransmit(1, TimePoint::epoch(), false);
-  b.apply_sack({{1, 1 + kMss}}, 1);
+  b.on_retransmit(S(1), TimePoint::epoch(), false);
+  b.apply_sack({{S(1), S(1 + kMss)}}, S(1));
   EXPECT_EQ(b.lost_out(), 0u);
   EXPECT_EQ(b.retrans_out(), 0u);
   EXPECT_EQ(b.sacked_out(), 1u);
@@ -142,7 +145,7 @@ TEST(Scoreboard, SackClearsLostAndRetransPending) {
 TEST(Scoreboard, MarkAllLostSkipsSacked) {
   auto b = make_board(4);
   const std::uint32_t s2 = 1 + kMss;
-  b.apply_sack({{s2, s2 + kMss}}, 1);
+  b.apply_sack({{S(s2), S(s2 + kMss)}}, S(1));
   b.mark_all_lost();
   EXPECT_EQ(b.lost_out(), 3u);
   EXPECT_EQ(b.sacked_out(), 1u);
@@ -153,19 +156,19 @@ TEST(Scoreboard, NextLostToRetransmitInOrder) {
   b.mark_all_lost();
   auto seq = b.next_lost_to_retransmit();
   ASSERT_TRUE(seq.has_value());
-  EXPECT_EQ(*seq, 1u);
+  EXPECT_EQ(*seq, S(1));
   b.on_retransmit(*seq, TimePoint::epoch(), true);
   seq = b.next_lost_to_retransmit();
   ASSERT_TRUE(seq.has_value());
-  EXPECT_EQ(*seq, 1u + kMss);
+  EXPECT_EQ(*seq, S(1 + kMss));
 }
 
 TEST(Scoreboard, MarkHeadLostSkipsSackedHead) {
   auto b = make_board(3);
-  b.apply_sack({{1, 1 + kMss}}, 1);
+  b.apply_sack({{S(1), S(1 + kMss)}}, S(1));
   EXPECT_TRUE(b.mark_head_lost());  // marks segment 2
-  EXPECT_FALSE(b.find(1)->lost);
-  EXPECT_TRUE(b.find(1 + kMss)->lost);
+  EXPECT_FALSE(b.find(S(1))->lost);
+  EXPECT_TRUE(b.find(S(1 + kMss))->lost);
 }
 
 TEST(Scoreboard, ClearLostMarks) {
@@ -177,19 +180,19 @@ TEST(Scoreboard, ClearLostMarks) {
 
 TEST(Scoreboard, FindBoundaries) {
   auto b = make_board(2);
-  EXPECT_EQ(b.find(0), nullptr);
-  EXPECT_NE(b.find(1), nullptr);
-  EXPECT_NE(b.find(kMss), nullptr);       // last byte of segment 1
-  EXPECT_EQ(b.find(1 + 2 * kMss), nullptr);  // beyond snd_nxt
+  EXPECT_EQ(b.find(S(0)), nullptr);
+  EXPECT_NE(b.find(S(1)), nullptr);
+  EXPECT_NE(b.find(S(kMss)), nullptr);       // last byte of segment 1
+  EXPECT_EQ(b.find(S(1 + 2 * kMss)), nullptr);  // beyond snd_nxt
 }
 
 TEST(Scoreboard, NewlySackedOutParam) {
   auto b = make_board(3, TimePoint::from_us(777));
   std::vector<SegmentState> newly;
   const std::uint32_t s2 = 1 + kMss;
-  b.apply_sack({{s2, s2 + kMss}}, 1, &newly);
+  b.apply_sack({{S(s2), S(s2 + kMss)}}, S(1), &newly);
   ASSERT_EQ(newly.size(), 1u);
-  EXPECT_EQ(newly[0].start, s2);
+  EXPECT_EQ(newly[0].start, S(s2));
   EXPECT_EQ(newly[0].first_sent, TimePoint::from_us(777));
   EXPECT_FALSE(newly[0].sacked);  // snapshot taken before marking
 }

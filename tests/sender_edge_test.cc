@@ -13,7 +13,7 @@ namespace tapo::tcp {
 namespace {
 
 constexpr std::uint32_t kMss = 1000;
-constexpr std::uint32_t kIsn = 1;
+constexpr net::Seq32 kIsn{1};
 
 struct Harness {
   sim::Simulator sim;
@@ -26,12 +26,12 @@ struct Harness {
     sender->start(kIsn);
     for (int i = 0; i < 20; ++i) sender->seed_rtt(Duration::millis(100));
   }
-  void ack(std::uint32_t a, std::vector<net::SackBlock> sacks = {},
+  void ack(net::Seq32 a, std::vector<net::SackBlock> sacks = {},
            std::uint32_t rwnd = 1 << 20) {
     sender->on_ack(a, rwnd, sacks, std::nullopt);
   }
   void advance(Duration d) { sim.run_until(sim.now() + d); }
-  std::uint32_t seg(int i) const {
+  net::Seq32 seg(int i) const {
     return kIsn + static_cast<std::uint32_t>(i) * kMss;
   }
 };
@@ -117,7 +117,7 @@ TEST(Reordering, DupthresStopsRepeatedSpuriousRetransmits) {
     h.advance(Duration::millis(100));
     h.ack(h.sender->snd_una() + 2 * kMss);
   }
-  const std::uint32_t una = h.sender->snd_una();
+  const net::Seq32 una = h.sender->snd_una();
   const auto retrans_before = h.sender->stats().retransmissions;
   ASSERT_GT(h.sender->packets_out(), 4u);
   h.ack(una, {{una + kMss, una + 2 * kMss}});

@@ -18,7 +18,7 @@ namespace tapo::tcp {
 namespace {
 
 constexpr std::uint32_t kMss = 1000;
-constexpr std::uint32_t kIsn = 1;
+constexpr net::Seq32 kIsn{1};
 
 struct Harness {
   sim::Simulator sim;
@@ -36,12 +36,12 @@ struct Harness {
     for (int i = 0; i < 20; ++i) sender->seed_rtt(Duration::millis(100));
   }
 
-  void ack(std::uint32_t a, std::vector<net::SackBlock> sacks = {},
+  void ack(net::Seq32 a, std::vector<net::SackBlock> sacks = {},
            std::optional<net::SackBlock> dsack = std::nullopt) {
     sender->on_ack(a, 1 << 20, sacks, dsack);
   }
   void advance(Duration d) { sim.run_until(sim.now() + d); }
-  std::uint32_t seg(int i) const {
+  net::Seq32 seg(int i) const {
     return kIsn + static_cast<std::uint32_t>(i) * kMss;
   }
 };

@@ -13,7 +13,7 @@ namespace tapo::tcp {
 namespace {
 
 constexpr std::uint32_t kMss = 1000;
-constexpr std::uint32_t kIsn = 1;
+constexpr net::Seq32 kIsn{1};
 
 SenderConfig test_config() {
   SenderConfig cfg;
@@ -41,7 +41,7 @@ struct Harness {
     for (int i = 0; i < 20; ++i) sender->seed_rtt(Duration::millis(100));
   }
 
-  void ack(std::uint32_t ack_seq, std::vector<net::SackBlock> sacks = {},
+  void ack(net::Seq32 ack_seq, std::vector<net::SackBlock> sacks = {},
            std::uint32_t rwnd = 1 << 20) {
     sender->on_ack(ack_seq, rwnd, sacks, std::nullopt);
   }
@@ -49,7 +49,7 @@ struct Harness {
   /// Runs the simulator forward by `d`.
   void advance(Duration d) { sim.run_until(sim.now() + d); }
 
-  std::uint32_t seg_start(int i) const {
+  net::Seq32 seg_start(int i) const {
     return kIsn + static_cast<std::uint32_t>(i) * kMss;
   }
   net::SackBlock sack_of(int i, int n = 1) const {

@@ -141,7 +141,7 @@ TEST(Timer, RearmInsideCallback) {
 net::CapturedPacket test_packet(std::uint32_t seq, std::uint32_t payload) {
   net::CapturedPacket p;
   p.key = {1, 2, 3, 4};
-  p.tcp.seq = seq;
+  p.tcp.seq = net::Seq32{seq};
   p.payload_len = payload;
   return p;
 }
@@ -170,7 +170,7 @@ TEST(Link, FifoPreservedUnderJitter) {
   Link link(sim, cfg, Rng(7));
   std::vector<std::uint32_t> seqs;
   link.set_deliver(
-      [&](const net::CapturedPacket& p) { seqs.push_back(p.tcp.seq); });
+      [&](const net::CapturedPacket& p) { seqs.push_back(p.tcp.seq.raw()); });
   for (std::uint32_t i = 0; i < 100; ++i) link.send(test_packet(i, 100));
   sim.run();
   ASSERT_EQ(seqs.size(), 100u);
@@ -186,7 +186,7 @@ TEST(Link, ReorderEventsOvertake) {
   Link link(sim, cfg, Rng(21));
   std::vector<std::uint32_t> seqs;
   link.set_deliver(
-      [&](const net::CapturedPacket& p) { seqs.push_back(p.tcp.seq); });
+      [&](const net::CapturedPacket& p) { seqs.push_back(p.tcp.seq.raw()); });
   for (std::uint32_t i = 0; i < 200; ++i) link.send(test_packet(i, 100));
   sim.run();
   ASSERT_EQ(seqs.size(), 200u);

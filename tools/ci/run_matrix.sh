@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the full configuration matrix.
+#
+#   tools/ci/run_matrix.sh            # every configuration
+#   tools/ci/run_matrix.sh default    # one configuration by name
+#   tools/ci/run_matrix.sh lint asan  # any subset
+#
+# Configurations:
+#   lint     tapo_lint self-test + full-tree lint, plus clang-tidy when
+#            available (with CI=1 a missing clang-tidy fails the build —
+#            see the tidy target in CMakeLists.txt)
+#   default  plain RelWithDebInfo build, full ctest
+#   asan     -fsanitize=address, full ctest
+#   ubsan    -fsanitize=undefined, full ctest
+#   tsan     -fsanitize=thread, full ctest (includes the runner_parallel_tsan
+#            and telemetry_tsan race-check entries)
+#
+# Each configuration gets its own build tree under build-ci/ so sanitizer
+# flags never bleed between them.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+JOBS="${JOBS:-$(nproc)}"
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=(lint default asan ubsan tsan)
+fi
+
+build_and_test() {
+  local name="$1" sanitize="$2"
+  local dir="build-ci/${name}"
+  echo "=== [${name}] configure (TAPO_SANITIZE='${sanitize}') ==="
+  cmake -B "${dir}" -S . -DTAPO_SANITIZE="${sanitize}" -DTAPO_WERROR=ON
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+for cfg in "${CONFIGS[@]}"; do
+  case "${cfg}" in
+    lint)
+      dir="build-ci/lint"
+      cmake -B "${dir}" -S . -DTAPO_WERROR=ON
+      cmake --build "${dir}" -j "${JOBS}" --target tapo_lint
+      "${dir}"/tools/tapo_lint/tapo_lint --self-test tools/tapo_lint/fixtures
+      cmake --build "${dir}" --target lint
+      # tidy is part of the lint job: clang-tidy runs when installed; under
+      # CI=1 a missing binary is a hard failure instead of a silent skip.
+      cmake --build "${dir}" --target tidy
+      ;;
+    default) build_and_test default "" ;;
+    asan)    build_and_test asan address ;;
+    ubsan)   build_and_test ubsan undefined ;;
+    tsan)    build_and_test tsan thread ;;
+    *)
+      echo "unknown configuration: ${cfg}" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== matrix OK: ${CONFIGS[*]} ==="

@@ -1,0 +1,9 @@
+// Fixture: bench binaries must route CLI/env numbers through the util
+// validated-parse helpers.
+#include <cstdlib>
+
+namespace fixture {
+int flows(const char* arg) {
+  return std::atoi(arg);  // expect-lint: naked-parse
+}
+}  // namespace fixture

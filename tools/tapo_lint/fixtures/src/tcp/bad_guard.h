@@ -1,0 +1,6 @@
+// Fixture: first directive is #include, not #pragma once.  expect-lint: pragma-once
+#include <cstdint>
+
+namespace fixture {
+inline std::uint32_t id(std::uint32_t v) { return v; }
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Fixture: relaxed atomics, unseeded RNG, trace side effects and naked
+// parses outside their sanctioned homes.
+#include <atomic>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int counters(std::atomic<int>& v) {
+  return v.load(std::memory_order_relaxed);  // expect-lint: relaxed-atomic
+}
+
+int suppressed_counter(std::atomic<int>& v) {
+  // tapo-lint: allow(relaxed-atomic) — fixture: justified relaxed load
+  return v.load(std::memory_order_relaxed);
+}
+
+int dice() {
+  std::mt19937 gen;                          // expect-lint: raw-rand
+  (void)gen;
+  return std::rand() % 6;                    // expect-lint: raw-rand
+}
+
+int seeded_ok(unsigned seed) {
+  std::mt19937 gen(seed);  // explicit seed: fine
+  return static_cast<int>(gen());
+}
+
+int parse(const char* s) {
+  return std::atoi(s);                       // expect-lint: naked-parse
+}
+
+long parse2(const char* s) {
+  return std::strtoul(s, nullptr, 10);       // expect-lint: naked-parse
+}
+
+void trace(int x, long now) {
+  TAPO_TRACE(kKind, now, x++, 0);            // expect-lint: trace-side-effect
+  TAPO_TRACE(kKind, now, x, 0);  // plain reads: fine
+  // A multi-line invocation is reported at its first line, where the
+  // macro name sits, not at the line holding the mutation:
+  TAPO_TRACE(kKind, now,                     // expect-lint: trace-side-effect
+             x += 2,
+             0);
+}
+
+}  // namespace fixture

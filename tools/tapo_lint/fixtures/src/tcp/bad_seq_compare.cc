@@ -1,0 +1,49 @@
+// Fixture: raw relational comparisons on sequence-number identifiers.
+// Each annotated line must produce exactly the named finding.
+#include <cstdint>
+
+namespace fixture {
+
+struct Pkt {
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+};
+
+bool checks(std::uint32_t snd_una, std::uint32_t snd_nxt, const Pkt& pkt) {
+  bool r = false;
+  r |= snd_una < snd_nxt;                   // expect-lint: seq-compare
+  r |= pkt.seq >= snd_una;                  // expect-lint: seq-compare
+  r |= snd_nxt > pkt.ack;                   // expect-lint: seq-compare
+  r |= pkt.tcp_ack() <= snd_nxt;            // expect-lint: seq-compare
+  // A raw-integer comparison hiding behind an innocently named left side
+  // still trips on the right operand chain.
+  r |= threshold() < pkt.seq;               // expect-lint: seq-compare
+  return r;
+}
+
+// Negative cases: none of these may fire.
+bool fine(std::uint32_t payload_len, std::uint32_t dupacks,
+          std::uint32_t back) {
+  bool r = false;
+  r |= payload_len > 0;         // no sequence word
+  r |= dupacks >= 3;            // "dupacks" is not the segment "ack"
+  r |= back < 10;               // "back" is not the segment "ack"
+  // "seq < 100" inside a comment or string must not fire:
+  const char* s = "seq < 100";
+  r |= s != nullptr;
+  return r;
+}
+
+// Template argument lists closing before a sequence-named declarator are
+// declarations, not comparisons — none of these may fire:
+std::vector<std::uint32_t> ack_history;
+std::map<std::uint32_t, Pkt> seq_index;
+std::vector<Pkt> ack_to(std::uint32_t ack);
+
+bool suppressed(std::uint32_t seq_a, std::uint32_t seq_b) {
+  // Suppression on the preceding line:
+  // tapo-lint: allow(seq-compare) — fixture exercising the escape hatch
+  return seq_a < seq_b;
+}
+
+}  // namespace fixture

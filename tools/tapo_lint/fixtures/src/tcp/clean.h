@@ -1,0 +1,19 @@
+// Fixture: a fully clean header — the negative control. No rule may fire
+// anywhere in this file.
+#pragma once
+
+#include <cstdint>
+
+#include "net/seq.h"
+
+namespace fixture {
+
+// Sequence ordering through the sanctioned helpers, not raw operators.
+inline bool in_order(tapo::net::Seq32 a, tapo::net::Seq32 b) {
+  return tapo::net::at_or_before(a, b);
+}
+
+// Ordinary arithmetic comparisons on non-sequence identifiers are fine.
+inline bool small(std::uint32_t payload_len) { return payload_len < 1500; }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: src/telemetry/ is the sanctioned home for relaxed atomics; no
+// finding may fire here.
+#include <atomic>
+
+namespace fixture {
+int fast_counter(std::atomic<int>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: src/workload/ owns RNG construction (it builds the seeded
+// generators for everyone else); the raw-rand rule is off here.
+#include <random>
+
+namespace fixture {
+unsigned roll() {
+  std::mt19937 gen;
+  return static_cast<unsigned>(gen());
+}
+}  // namespace fixture

@@ -1,0 +1,643 @@
+// tapo_lint — project-specific static checks the type system alone cannot
+// express, as a single self-contained token-level pass (no libclang).
+//
+// Rules (see DESIGN.md "Static analysis & invariants" for rationale):
+//
+//   seq-compare        Relational operators (< > <= >=) applied to an
+//                      identifier whose snake_case segments name a TCP
+//                      sequence variable (seq, ack, una, nxt, fack, rxt).
+//                      Sequence ordering must go through net/seq.h's
+//                      wrap-safe helpers; a raw comparison silently breaks
+//                      on flows crossing the 2^32 wrap. net/seq.h itself
+//                      (the one sanctioned home of serial arithmetic) is
+//                      exempt.
+//   relaxed-atomic     memory_order_relaxed outside src/telemetry/. The
+//                      telemetry fast path owns the only sanctioned relaxed
+//                      atomics; anywhere else it is usually an unintended
+//                      consistency bug.
+//   raw-rand           rand()/srand()/random() or a default-seeded standard
+//                      engine (std::mt19937 g;) outside src/workload/.
+//                      Experiments must be reproducible from an explicit
+//                      seed (util::Rng).
+//   trace-side-effect  Side effects (++ / -- / assignment) inside
+//                      TAPO_TRACE(...) arguments. The macro's arguments are
+//                      evaluated only when tracing is enabled and compile
+//                      away entirely under -DTAPO_TELEMETRY=OFF, so side
+//                      effects there change behaviour between builds.
+//   pragma-once        Header files must start their preprocessor life with
+//                      #pragma once (the project's include-guard idiom).
+//   naked-parse        atoi/strtoul/std::stoul-family calls outside
+//                      src/util/. CLI/env numbers must go through the
+//                      validated util parse helpers (util::parse_u64,
+//                      util::env_positive_size, ...) so malformed input
+//                      warns instead of silently truncating to 0.
+//
+// Suppressions: a comment containing `tapo-lint: allow(<rule>)` disables
+// that rule on the same line and on the line directly below (so a
+// standalone comment can annotate the statement it precedes). Every
+// suppression should say why.
+//
+// Modes:
+//   tapo_lint <file>...            lint files; findings to stdout; exit 1
+//   tapo_lint --recurse <dir>...   lint every *.h/*.cc under the trees
+//   tapo_lint --self-test <dir>    fixture mode: every `// expect-lint: r`
+//                                  annotation must produce finding r on
+//                                  that line, and no unannotated finding
+//                                  may appear; exit 1 on any mismatch.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `id` is a lowercase identifier with a snake_case segment that
+/// names a sequence variable. CamelCase identifiers are type names in this
+/// codebase (Seq32, SeqLess) and are exempt: types appear as template
+/// arguments next to '<' and '>' all the time.
+bool names_sequence_var(const std::string& id) {
+  static const std::set<std::string> kWords = {"seq", "ack", "una",
+                                               "nxt", "fack", "rxt"};
+  if (std::any_of(id.begin(), id.end(), [](char c) {
+        return std::isupper(static_cast<unsigned char>(c)) != 0;
+      })) {
+    return false;
+  }
+  std::string segment;
+  for (const char c : id + "_") {
+    if (c == '_' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      if (kWords.count(segment) > 0) return true;
+      segment.clear();
+    } else {
+      segment += c;
+    }
+  }
+  return false;
+}
+
+/// One scanned file: per-line code with comments, string and char literals
+/// blanked out (so token rules never fire inside them), plus the raw lines
+/// (for suppression / fixture annotations).
+struct FileText {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+FileText strip_comments(const std::string& path, const std::string& text) {
+  FileText out;
+  out.path = path;
+  std::string raw_line, code_line;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out.raw.push_back(raw_line);
+      out.code.push_back(code_line);
+      raw_line.clear();
+      code_line.clear();
+      if (st == State::kLineComment) st = State::kCode;
+      continue;
+    }
+    raw_line += c;
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          code_line += ' ';
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          code_line += ' ';
+        } else if (c == '"') {
+          st = State::kString;
+          code_line += ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        code_line += ' ';
+        if (c == '*' && next == '/') {
+          st = State::kCode;
+          ++i;
+          raw_line += '/';
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        code_line += ' ';
+        if (c == '\\') {
+          ++i;
+          if (i < text.size() && text[i] != '\n') {
+            raw_line += text[i];
+            code_line += ' ';
+          }
+        } else if (c == '"') {
+          st = State::kCode;
+        }
+        break;
+      case State::kChar:
+        code_line += ' ';
+        if (c == '\\') {
+          ++i;
+          if (i < text.size() && text[i] != '\n') {
+            raw_line += text[i];
+            code_line += ' ';
+          }
+        } else if (c == '\'') {
+          st = State::kCode;
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty() || !code_line.empty()) {
+    out.raw.push_back(raw_line);
+    out.code.push_back(code_line);
+  }
+  return out;
+}
+
+std::string normalized(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_contains(const std::string& path, const std::string& piece) {
+  return normalized(path).find(piece) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Identifiers chained by '.' or '->' to the left of position `pos`
+/// (exclusive), skipping one balanced ')' group: `b.snd_una() ` yields
+/// {snd_una, b}.
+std::vector<std::string> left_operand_chain(const std::string& line,
+                                            std::size_t pos) {
+  std::vector<std::string> ids;
+  std::size_t i = pos;
+  for (;;) {
+    while (i > 0 && line[i - 1] == ' ') --i;
+    if (i > 0 && line[i - 1] == ')') {
+      int depth = 0;
+      while (i > 0) {
+        --i;
+        if (line[i] == ')') ++depth;
+        if (line[i] == '(') {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      continue;  // then read the identifier being called
+    }
+    std::size_t end = i;
+    while (i > 0 && is_ident_char(line[i - 1])) --i;
+    if (i == end) break;
+    ids.push_back(line.substr(i, end - i));
+    while (i > 0 && line[i - 1] == ' ') --i;
+    if (i >= 2 && line[i - 2] == '-' && line[i - 1] == '>') {
+      i -= 2;
+    } else if (i >= 1 && line[i - 1] == '.') {
+      i -= 1;
+    } else {
+      break;
+    }
+  }
+  return ids;
+}
+
+/// Identifiers chained by '.' or '->' starting at/after position `pos`:
+/// `pkt.tcp.seq` yields {pkt, tcp, seq}.
+std::vector<std::string> right_operand_chain(const std::string& line,
+                                             std::size_t pos) {
+  std::vector<std::string> ids;
+  std::size_t i = pos;
+  for (;;) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t start = i;
+    while (i < line.size() && is_ident_char(line[i])) ++i;
+    if (i == start) break;
+    ids.push_back(line.substr(start, i - start));
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i + 1 < line.size() && line[i] == '-' && line[i + 1] == '>') {
+      i += 2;
+    } else if (i < line.size() && line[i] == '.') {
+      i += 1;
+    } else {
+      break;
+    }
+  }
+  return ids;
+}
+
+/// True when the '>' at `pos` closes a template argument list rather than
+/// comparing: there is a matching '<' to the left on the same line, the
+/// span between them holds only type-ish tokens (identifiers, '::', commas,
+/// nested angles, '*' and spaces), and the '<' directly follows an
+/// identifier (`vector<`, `optional<`, ...).
+bool is_template_closer(const std::string& line, std::size_t pos) {
+  int depth = 1;
+  for (std::size_t j = pos; j-- > 0;) {
+    const char c = line[j];
+    if (c == '>') {
+      ++depth;
+    } else if (c == '<') {
+      if (--depth == 0) return j > 0 && is_ident_char(line[j - 1]);
+    } else if (!is_ident_char(c) && c != ':' && c != ',' && c != '*' &&
+               c != ' ') {
+      return false;
+    }
+  }
+  return false;
+}
+
+void rule_seq_compare(const FileText& f, std::vector<Finding>& out) {
+  if (ends_with(normalized(f.path), "net/seq.h")) return;
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    const std::size_t first = line.find_first_not_of(' ');
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c != '<' && c != '>') continue;
+      const char prev = i > 0 ? line[i - 1] : '\0';
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      // Exclude <<, >>, ->, <<=, >>= and the digraph-free single tokens.
+      if (next == c || prev == c) continue;
+      if (c == '>' && prev == '-') continue;
+      if (c == '>' && is_template_closer(line, i)) continue;
+      std::size_t after = i + 1;
+      if (next == '=') ++after;  // <= / >=
+      bool hit = false;
+      for (const auto& id : left_operand_chain(line, i)) {
+        if (names_sequence_var(id)) hit = true;
+      }
+      for (const auto& id : right_operand_chain(line, after)) {
+        if (names_sequence_var(id)) hit = true;
+      }
+      if (hit) {
+        out.push_back({f.path, n + 1, "seq-compare",
+                       "relational operator on a sequence-number identifier; "
+                       "use net/seq.h before()/after()/at_or_before()/"
+                       "at_or_after() instead"});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+void rule_relaxed_atomic(const FileText& f, std::vector<Finding>& out) {
+  if (path_contains(f.path, "src/telemetry/")) return;
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    if (f.code[n].find("memory_order_relaxed") != std::string::npos) {
+      out.push_back({f.path, n + 1, "relaxed-atomic",
+                     "memory_order_relaxed outside src/telemetry/; justify "
+                     "with a tapo-lint: allow(relaxed-atomic) comment or use "
+                     "a stronger ordering"});
+    }
+  }
+}
+
+bool word_at(const std::string& line, std::size_t pos,
+             const std::string& word) {
+  if (line.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(line[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < line.size() && is_ident_char(line[end])) return false;
+  return true;
+}
+
+bool word_then_paren(const std::string& line, const std::string& word) {
+  for (std::size_t pos = line.find(word); pos != std::string::npos;
+       pos = line.find(word, pos + 1)) {
+    if (!word_at(line, pos, word)) continue;
+    std::size_t i = pos + word.size();
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '(') return true;
+  }
+  return false;
+}
+
+void rule_raw_rand(const FileText& f, std::vector<Finding>& out) {
+  if (path_contains(f.path, "src/workload/")) return;
+  static const std::vector<std::string> kCalls = {"rand", "srand", "random",
+                                                  "drand48"};
+  static const std::vector<std::string> kEngines = {
+      "mt19937", "mt19937_64", "minstd_rand", "default_random_engine"};
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    for (const auto& call : kCalls) {
+      if (word_then_paren(line, call)) {
+        out.push_back({f.path, n + 1, "raw-rand",
+                       call + "() is unseeded/global; use util::Rng with an "
+                              "explicit seed"});
+        break;
+      }
+    }
+    for (const auto& eng : kEngines) {
+      for (std::size_t pos = line.find(eng); pos != std::string::npos;
+           pos = line.find(eng, pos + 1)) {
+        if (!word_at(line, pos, eng)) continue;
+        // `std::mt19937 g;` (no seed argument) is a fixed-sequence RNG.
+        std::size_t i = pos + eng.size();
+        while (i < line.size() && line[i] == ' ') ++i;
+        const std::size_t id_start = i;
+        while (i < line.size() && is_ident_char(line[i])) ++i;
+        if (i == id_start) continue;
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i < line.size() && line[i] == ';') {
+          out.push_back({f.path, n + 1, "raw-rand",
+                         "default-constructed " + eng +
+                             " has a fixed seed; pass an explicit seed "
+                             "(util::Rng) so runs are reproducible on "
+                             "purpose"});
+        }
+      }
+    }
+  }
+}
+
+void rule_trace_side_effect(const FileText& f, std::vector<Finding>& out) {
+  // TAPO_TRACE argument lists are evaluated only when tracing is enabled
+  // and vanish under -DTAPO_TELEMETRY=OFF. Find each invocation, collect
+  // the balanced argument text (possibly spanning lines), and flag
+  // mutations inside it. The macro definition itself (src/telemetry/) is
+  // exempt.
+  if (path_contains(f.path, "src/telemetry/")) return;
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    // Any TAPO_TRACE* variant counts; all of them compile away.
+    const std::size_t pos = line.find("TAPO_TRACE");
+    if (pos == std::string::npos) continue;
+    if (pos > 0 && is_ident_char(line[pos - 1])) continue;
+    // Collect text until the invocation's parentheses balance out.
+    std::string args;
+    int depth = 0;
+    bool started = false;
+    for (std::size_t m = n; m < f.code.size() && (!started || depth > 0);
+         ++m) {
+      const std::string& l = f.code[m];
+      for (std::size_t i = m == n ? pos : 0; i < l.size(); ++i) {
+        if (l[i] == '(') {
+          ++depth;
+          started = true;
+        } else if (l[i] == ')') {
+          --depth;
+          if (started && depth == 0) break;
+        } else if (started && depth > 0) {
+          args += l[i];
+        }
+      }
+    }
+    bool mutation = false;
+    for (std::size_t i = 0; i < args.size() && !mutation; ++i) {
+      const char c = args[i];
+      const char prev = i > 0 ? args[i - 1] : '\0';
+      const char next = i + 1 < args.size() ? args[i + 1] : '\0';
+      if ((c == '+' && next == '+') || (c == '-' && next == '-')) {
+        mutation = true;
+      }
+      // '=' that is not part of ==, !=, <=, >= is an assignment (compound
+      // assignments like += keep their '=' and are caught here too).
+      if (c == '=' && next != '=' && prev != '=' && prev != '!' &&
+          prev != '<' && prev != '>') {
+        mutation = true;
+      }
+    }
+    if (mutation) {
+      out.push_back({f.path, n + 1, "trace-side-effect",
+                     "side effect inside TAPO_TRACE arguments; the macro "
+                     "compiles away under TAPO_TELEMETRY=OFF, so behaviour "
+                     "would differ between builds"});
+    }
+  }
+}
+
+void rule_pragma_once(const FileText& f, std::vector<Finding>& out) {
+  if (!ends_with(normalized(f.path), ".h")) return;
+  for (const std::string& line : f.code) {
+    const std::size_t first = line.find_first_not_of(' ');
+    if (first == std::string::npos) continue;
+    if (line[first] != '#') {
+      break;  // real code before any directive: no guard at all
+    }
+    if (line.find("#pragma") != std::string::npos &&
+        line.find("once") != std::string::npos) {
+      return;  // guarded
+    }
+    break;  // the first directive is something else (#include, #ifndef...)
+  }
+  out.push_back({f.path, 1, "pragma-once",
+                 "header does not start with #pragma once (the project's "
+                 "include-guard idiom)"});
+}
+
+void rule_naked_parse(const FileText& f, std::vector<Finding>& out) {
+  if (path_contains(f.path, "src/util/")) return;
+  static const std::vector<std::string> kParsers = {
+      "atoi", "atol", "atoll", "strtol", "strtoul", "strtoull",
+      "stoi", "stol", "stoll", "stoul", "stoull"};
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    for (const auto& p : kParsers) {
+      if (word_then_paren(f.code[n], p)) {
+        out.push_back({f.path, n + 1, "naked-parse",
+                       p + "() accepts malformed input silently; use the "
+                           "validated util parse helpers (util::parse_u64, "
+                           "util::env_positive_size, ...)"});
+        break;
+      }
+    }
+  }
+}
+
+/// Rules suppressed on line `n` (0-based) via `tapo-lint: allow(<rule>)` on
+/// the same line or the line directly above.
+std::set<std::string> suppressions_for_line(const FileText& f, std::size_t n) {
+  std::set<std::string> rules;
+  for (std::size_t m = n == 0 ? 0 : n - 1; m <= n && m < f.raw.size(); ++m) {
+    const std::string& line = f.raw[m];
+    const std::string kKey = "tapo-lint: allow(";
+    for (std::size_t pos = line.find(kKey); pos != std::string::npos;
+         pos = line.find(kKey, pos + 1)) {
+      const std::size_t start = pos + kKey.size();
+      const std::size_t end = line.find(')', start);
+      if (end != std::string::npos) {
+        rules.insert(line.substr(start, end - start));
+      }
+    }
+  }
+  return rules;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io-error", "cannot open file"}};
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const FileText f = strip_comments(path, ss.str());
+
+  std::vector<Finding> found;
+  rule_seq_compare(f, found);
+  rule_relaxed_atomic(f, found);
+  rule_raw_rand(f, found);
+  rule_trace_side_effect(f, found);
+  rule_pragma_once(f, found);
+  rule_naked_parse(f, found);
+
+  std::vector<Finding> kept;
+  for (const auto& finding : found) {
+    if (finding.line > 0) {
+      const auto allowed = suppressions_for_line(f, finding.line - 1);
+      if (allowed.count(finding.rule) > 0) continue;
+    }
+    kept.push_back(finding);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return a.line < b.line;
+  });
+  return kept;
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::vector<std::string> collect_tree(const std::string& root) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int run_lint(const std::vector<std::string>& files) {
+  std::size_t count = 0;
+  for (const auto& file : files) {
+    for (const auto& f : lint_file(file)) {
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+      ++count;
+    }
+  }
+  if (count > 0) {
+    std::printf("tapo_lint: %zu finding%s\n", count, count == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
+
+/// Fixture mode: `// expect-lint: <rule>` marks the line where a finding
+/// must fire. Any missing expected finding or any unexpected finding fails.
+int run_self_test(const std::string& dir) {
+  int failures = 0;
+  std::size_t checked = 0;
+  for (const auto& file : collect_tree(dir)) {
+    std::ifstream in(file, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const FileText f = strip_comments(file, ss.str());
+
+    std::set<std::pair<std::size_t, std::string>> expected;
+    const std::string kKey = "expect-lint:";
+    for (std::size_t n = 0; n < f.raw.size(); ++n) {
+      std::size_t pos = f.raw[n].find(kKey);
+      if (pos == std::string::npos) continue;
+      pos += kKey.size();
+      while (pos < f.raw[n].size() && f.raw[n][pos] == ' ') ++pos;
+      std::size_t end = pos;
+      while (end < f.raw[n].size() &&
+             (is_ident_char(f.raw[n][end]) || f.raw[n][end] == '-')) {
+        ++end;
+      }
+      expected.insert({n + 1, f.raw[n].substr(pos, end - pos)});
+    }
+
+    std::set<std::pair<std::size_t, std::string>> actual;
+    for (const auto& finding : lint_file(file)) {
+      actual.insert({finding.line, finding.rule});
+    }
+
+    for (const auto& [line, rule] : expected) {
+      ++checked;
+      if (actual.count({line, rule}) == 0) {
+        std::printf("SELF-TEST FAIL %s:%zu: expected [%s], not reported\n",
+                    file.c_str(), line, rule.c_str());
+        ++failures;
+      }
+    }
+    for (const auto& [line, rule] : actual) {
+      if (expected.count({line, rule}) == 0) {
+        std::printf("SELF-TEST FAIL %s:%zu: unexpected [%s]\n", file.c_str(),
+                    line, rule.c_str());
+        ++failures;
+      }
+    }
+  }
+  std::printf("tapo_lint self-test: %zu expectation%s, %d failure%s\n",
+              checked, checked == 1 ? "" : "s", failures,
+              failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: tapo_lint <file>... | --recurse <dir>... | "
+                 "--self-test <dir>\n");
+    return 2;
+  }
+  if (args[0] == "--self-test") {
+    if (args.size() != 2) {
+      std::fprintf(stderr, "usage: tapo_lint --self-test <fixture-dir>\n");
+      return 2;
+    }
+    return run_self_test(args[1]);
+  }
+  std::vector<std::string> files;
+  if (args[0] == "--recurse") {
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const auto tree = collect_tree(args[i]);
+      files.insert(files.end(), tree.begin(), tree.end());
+    }
+  } else {
+    files = args;
+  }
+  return run_lint(files);
+}
