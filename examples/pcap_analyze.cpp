@@ -83,13 +83,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --server-port must be 1..65535\n");
         return 1;
       }
-      demux.server_port = static_cast<std::uint16_t>(*port);
+      demux.with_server_port(static_cast<std::uint16_t>(*port));
     } else if (arg == "--tau" && i + 1 < argc) {
-      config.tau = std::atof(argv[++i]);
-      if (config.tau <= 0.0) {
+      const double tau = std::atof(argv[++i]);
+      if (tau <= 0.0) {
         std::fprintf(stderr, "error: --tau must be a positive number\n");
         return 1;
       }
+      config.with_tau(tau);
     } else if (arg == "--summary") {
       summary_only = true;
     } else if (arg == "--csv" && i + 1 < argc) {
@@ -123,9 +124,8 @@ int main(int argc, char** argv) {
   if (live_mode) {
     // Streaming mode: feed packets one at a time through the bounded-memory
     // live analyzer (what a capture-socket deployment would do).
-    analysis::LiveConfig live_cfg;
-    live_cfg.analyzer = config;
-    live_cfg.demux = demux;
+    const auto live_cfg =
+        analysis::LiveConfig{}.with_analyzer(config).with_demux(demux);
     analysis::LiveAnalyzer live(live_cfg, [&](const analysis::FlowAnalysis& fa) {
       result.flows.push_back(fa);
     });

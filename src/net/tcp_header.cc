@@ -100,7 +100,8 @@ std::size_t TcpHeader::serialize(std::span<std::uint8_t> out) const {
 }
 
 bool TcpHeader::parse(std::span<const std::uint8_t> in, TcpHeader& out,
-                      std::size_t& header_len) {
+                      std::size_t& header_len, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
   if (in.size() < kTcpMinHeaderLen) return false;
   out = TcpHeader{};
   out.src_port = get_u16(in, 0);
@@ -108,12 +109,20 @@ bool TcpHeader::parse(std::span<const std::uint8_t> in, TcpHeader& out,
   out.seq = Seq32{get_u32(in, 4)};
   out.ack = Seq32{get_u32(in, 8)};
   header_len = static_cast<std::size_t>(get_u8(in, 12) >> 4) * 4;
-  if (header_len < kTcpMinHeaderLen || header_len > in.size()) return false;
+  if (header_len < kTcpMinHeaderLen) return false;
+  if (header_len > in.size()) {
+    if (truncated == nullptr) return false;
+    *truncated = true;
+  }
   out.flags = TcpFlags::from_byte(get_u8(in, 13));
   out.window = get_u16(in, 14);
 
+  // Options are walked over what was actually captured; bounds against
+  // `header_len` (the wire) distinguish a malformed header from one the
+  // snaplen merely cut short.
+  const std::size_t avail = std::min(header_len, in.size());
   std::size_t off = kTcpMinHeaderLen;
-  while (off < header_len) {
+  while (off < avail) {
     const std::uint8_t kind = get_u8(in, off);
     if (kind == kOptEnd) break;
     if (kind == kOptNop) {
@@ -121,8 +130,10 @@ bool TcpHeader::parse(std::span<const std::uint8_t> in, TcpHeader& out,
       continue;
     }
     if (off + 1 >= header_len) return false;
+    if (off + 1 >= avail) break;  // optlen byte cut off (truncated set above)
     const std::uint8_t optlen = get_u8(in, off + 1);
     if (optlen < 2 || off + optlen > header_len) return false;
+    if (off + optlen > avail) break;  // option body cut off
     switch (kind) {
       case kOptMss:
         if (optlen != 4) return false;

@@ -126,8 +126,17 @@ struct TcpHeader {
   std::size_t serialize(std::span<std::uint8_t> out) const;
 
   /// Parses header + options. Returns false on malformed input.
+  ///
+  /// `header_len` is always the *wire* header length from the data-offset
+  /// field. With `truncated` null (the default) the input must hold the
+  /// whole header. With `truncated` non-null the parse tolerates snaplen
+  /// truncation: when `in` ends before the wire header does, the options
+  /// that fit are parsed, anything cut off (typically tail options — SACK
+  /// blocks, timestamps) is dropped, and `*truncated` is set so the caller
+  /// can record the capture artifact. At least the 20 fixed bytes must be
+  /// present either way.
   static bool parse(std::span<const std::uint8_t> in, TcpHeader& out,
-                    std::size_t& header_len);
+                    std::size_t& header_len, bool* truncated = nullptr);
 };
 static_assert(std::is_trivially_copyable_v<TcpHeader>,
               "TcpHeader must stay a POD: CapturedPacket records are stored "

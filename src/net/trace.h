@@ -56,6 +56,12 @@ struct CapturedPacket {
   FlowKey key;
   TcpHeader tcp;
   std::uint32_t payload_len = 0;
+  /// Snaplen truncation cut into this packet's TCP options: tail options
+  /// (SACK blocks, timestamps) may be missing even though the lengths above
+  /// reflect the full wire packet. Set by the pcap reader for records with
+  /// caplen < wire len and by sim::CaptureChannel's snaplen impairment; the
+  /// analyzer counts it into the flow's CaptureQuality.
+  bool truncated = false;
 
   Seq32 end_seq() const {
     // SYN and FIN each consume one sequence number.

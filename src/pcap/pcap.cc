@@ -160,22 +160,35 @@ bool parse_frame(std::span<const std::uint8_t> p, std::uint32_t linktype,
     ++st.skipped;
     return false;
   }
-  // Use the IP total length when the capture preserved the full packet;
-  // with a short snaplen fall back to what was captured.
-  const std::size_t ip_total = std::min<std::size_t>(ip.total_length, p.size());
-  std::span<const std::uint8_t> tcp_bytes =
-      p.subspan(ip_hlen, ip_total - ip_hlen);
+  // Wire lengths come from the IP header; the captured bytes may stop short
+  // of them when the capture ran with a small snaplen. Sizing the packet
+  // from the wire (not from caplen) keeps sequence accounting correct all
+  // the way through demux and the analyzer — only the uncaptured option
+  // bytes are actually lost, and those are flagged via `truncated`.
+  if (ip.total_length < ip_hlen + net::kTcpMinHeaderLen) {
+    ++st.skipped;  // wire packet too short to hold a TCP header: malformed
+    return false;
+  }
+  const std::size_t wire_tcp_len = ip.total_length - ip_hlen;
+  const std::size_t captured_tcp_len =
+      p.size() > ip_hlen ? std::min(p.size() - ip_hlen, wire_tcp_len) : 0;
+  std::span<const std::uint8_t> tcp_bytes = p.subspan(ip_hlen, captured_tcp_len);
 
   net::CapturedPacket& cp = builder.begin_packet();
   std::size_t tcp_hlen = 0;
-  if (!net::TcpHeader::parse(tcp_bytes, cp.tcp, tcp_hlen)) {
+  bool opts_truncated = false;
+  if (!net::TcpHeader::parse(tcp_bytes, cp.tcp, tcp_hlen, &opts_truncated) ||
+      wire_tcp_len < tcp_hlen) {
     builder.rollback_last();
     ++st.skipped;
     return false;
   }
   cp.timestamp = TimePoint::from_us(ts_us);
   cp.key = {ip.src, ip.dst, cp.tcp.src_port, cp.tcp.dst_port};
-  cp.payload_len = static_cast<std::uint32_t>(tcp_bytes.size() - tcp_hlen);
+  // Payload length is the *wire* payload — present on the path even when
+  // the capture kept only a header prefix of it.
+  cp.payload_len = static_cast<std::uint32_t>(wire_tcp_len - tcp_hlen);
+  cp.truncated = opts_truncated;
   ++st.tcp_packets;
   return true;
 }

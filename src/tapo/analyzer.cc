@@ -4,6 +4,8 @@
 #include <cassert>
 #include <set>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
@@ -35,6 +37,93 @@ const char* to_string(RetransCause c) {
     case RetransCause::kNone: return "none";
   }
   return "?";
+}
+
+AnalyzerConfig& AnalyzerConfig::with_tau(double t) {
+  if (!(t > 0.0)) {
+    throw std::invalid_argument("AnalyzerConfig: tau must be > 0, got " +
+                                std::to_string(t));
+  }
+  tau = t;
+  return *this;
+}
+
+AnalyzerConfig& AnalyzerConfig::with_dupthres(std::uint32_t n) {
+  if (n == 0) {
+    throw std::invalid_argument(
+        "AnalyzerConfig: dupthres must be > 0 (zero would classify every "
+        "retransmission as fast)");
+  }
+  dupthres = n;
+  return *this;
+}
+
+AnalyzerConfig& AnalyzerConfig::with_small_inflight(std::uint32_t n) {
+  if (n == 0) {
+    throw std::invalid_argument(
+        "AnalyzerConfig: small_inflight must be > 0");
+  }
+  small_inflight = n;
+  return *this;
+}
+
+AnalyzerConfig& AnalyzerConfig::with_rto(const tcp::RtoConfig& cfg) {
+  rto = cfg;
+  return *this;
+}
+
+AnalyzerConfig& AnalyzerConfig::with_rto_fraction(double f) {
+  // Values above 1 are legitimate (stricter timeout attribution: the
+  // segment must have been quiet for more than a full RTO).
+  if (!(f > 0.0)) {
+    throw std::invalid_argument(
+        "AnalyzerConfig: rto_fraction must be > 0, got " + std::to_string(f));
+  }
+  rto_fraction = f;
+  return *this;
+}
+
+AnalyzerConfig& AnalyzerConfig::with_inflight_sampling(bool on) {
+  sample_inflight_on_ack = on;
+  return *this;
+}
+
+AnalyzerConfig& AnalyzerConfig::with_dup_window(Duration w) {
+  if (w < Duration::zero()) {
+    throw std::invalid_argument("AnalyzerConfig: dup_window must be >= 0");
+  }
+  dup_window = w;
+  suppress_capture_dups = true;
+  return *this;
+}
+
+AnalyzerConfig& AnalyzerConfig::with_ts_quantum(Duration q) {
+  if (q < Duration::zero()) {
+    throw std::invalid_argument("AnalyzerConfig: ts_quantum must be >= 0");
+  }
+  ts_quantum = q;
+  return *this;
+}
+
+void AnalyzerConfig::validate() const {
+  if (!(tau > 0.0)) {
+    throw std::invalid_argument("AnalyzerConfig: tau must be > 0");
+  }
+  if (dupthres == 0) {
+    throw std::invalid_argument("AnalyzerConfig: dupthres must be > 0");
+  }
+  if (small_inflight == 0) {
+    throw std::invalid_argument("AnalyzerConfig: small_inflight must be > 0");
+  }
+  if (!(rto_fraction > 0.0)) {
+    throw std::invalid_argument("AnalyzerConfig: rto_fraction must be > 0");
+  }
+  if (dup_window < Duration::zero()) {
+    throw std::invalid_argument("AnalyzerConfig: dup_window must be >= 0");
+  }
+  if (ts_quantum < Duration::zero()) {
+    throw std::invalid_argument("AnalyzerConfig: ts_quantum must be >= 0");
+  }
 }
 
 namespace {
@@ -72,6 +161,27 @@ void record_stall(const StallRecord& rec) {
   duration_hist.observe(dur_us);
 }
 
+/// Telemetry tap for the per-flow CaptureQuality record, incremented once
+/// per analyzed flow from the record's own totals, so the counters and any
+/// sum over FlowAnalysis::capture agree exactly (the robustness harness
+/// asserts this).
+void record_capture_quality(const CaptureQuality& q) {
+  if (!telemetry::metrics_enabled()) return;
+  auto& registry = telemetry::Registry::instance();
+  const auto bump = [&registry](const char* kind, std::uint64_t n) {
+    if (n == 0) return;
+    registry.counter("tapo_capture_artifacts_total", {{"kind", kind}}).add(n);
+  };
+  bump("duplicate", q.dup_packets);
+  bump("seq_gap", q.seq_gaps);
+  bump("truncated", q.truncated_packets);
+  bump("mid_stream", q.mid_stream ? 1 : 0);
+  bump("suspect_stall", q.suspect_stalls);
+  if (q.degraded()) {
+    registry.counter("tapo_flows_degraded_total").add(1);
+  }
+}
+
 /// Per-segment state reconstructed by the mimic. Segments persist for the
 /// whole analysis (never popped) so stall classification can look ahead.
 struct SegMimic {
@@ -85,6 +195,10 @@ struct SegMimic {
   bool rto_retransmitted = false;
   bool fast_retransmitted = false;
   bool dsacked = false;
+  /// Synthesized for a server-side sequence gap: the capture never recorded
+  /// the original transmission of these bytes. Never yields RTT samples;
+  /// "retransmissions" of it demote their stall to kUndetermined.
+  bool inferred = false;
   // Live flags during the walk (scoreboard mirror).
   bool acked = false;
   bool sacked = false;
@@ -115,6 +229,9 @@ struct PktAnno {
   bool first_retrans_was_rto = false;
   int seg_idx = -1;
   bool is_request = false;
+  /// This packet's evidence overlaps a capture artifact (retransmission of
+  /// an inferred gap segment): cause classification cannot be trusted.
+  bool capture_suspect = false;
 };
 
 
@@ -129,6 +246,7 @@ struct PacketView {
   net::TcpFlags flags;
   bool from_server = false;
   std::span<const net::SackBlock> sacks;
+  bool truncated = false;  // snaplen cut this record's options
 };
 
 /// Cursor over an owning Flow (compact FlowPackets + out-of-line sack pool).
@@ -140,7 +258,8 @@ class FlowCursor {
   PacketView at(std::size_t i) const {
     const FlowPacket& p = flow_->packets[i];
     return {p.ts,          p.seq,    p.ack,          p.payload,
-            p.window,      p.flags,  p.from_server,  flow_->sacks_of(p)};
+            p.window,      p.flags,  p.from_server,  flow_->sacks_of(p),
+            p.truncated};
   }
 
  private:
@@ -163,7 +282,8 @@ class ViewCursor {
             cp.tcp.window,
             cp.tcp.flags,
             cp.key == view_->server_to_client,
-            cp.tcp.sack_blocks.span()};
+            cp.tcp.sack_blocks.span(),
+            cp.truncated};
   }
 
  private:
@@ -181,15 +301,36 @@ class FlowMimic {
         meta_(cursor.meta()),
         config_(config),
         rto_(config.rto) {
-    snd_nxt_ = meta_.server_isn + 1;
-    snd_una_ = meta_.server_isn + 1;
+    if (meta_.mid_stream) {
+      // No handshake in the capture: seed sequence state from the first
+      // server data packet and remember that this "stream head" is
+      // synthetic — it is where the *capture* starts, not necessarily
+      // where a response starts.
+      snd_nxt_ = meta_.first_server_data_seq;
+      quality_.mid_stream = true;
+    } else {
+      snd_nxt_ = meta_.server_isn + 1;
+    }
+    snd_una_ = snd_nxt_;
+    stream_head_ = snd_nxt_;
     head_seqs_.insert(snd_nxt_);  // the first response starts the stream
   }
 
   void run(FlowAnalysis& out);
 
  private:
+  /// The one packet accessor the mimic uses: cursor record with the
+  /// timestamp floored to config ts_quantum (identity when the quantum is
+  /// off). Keeping this the single ingest point is what makes the
+  /// quantization-invariance guarantee structural rather than per-site.
+  PacketView pkt(std::size_t i) const {
+    PacketView p = cursor_.at(i);
+    p.ts = floor_to(p.ts, config_.ts_quantum);
+    return p;
+  }
+
   SegMimic* find_seg(net::Seq32 seq);
+  bool is_capture_dup(const PacketView& a, const PacketView& b) const;
   std::uint32_t packets_out() const;
   std::uint32_t in_flight() const;
   void mark_lost_by_sack();
@@ -216,7 +357,9 @@ class FlowMimic {
 
   net::Seq32 snd_una_;
   net::Seq32 snd_nxt_;
+  net::Seq32 stream_head_;  // initial snd_nxt_ (synthetic when mid-stream)
   std::size_t first_unacked_idx_ = 0;  // index into segs_ (monotone)
+  CaptureQuality quality_;
 
   tcp::CaState state_ = tcp::CaState::kOpen;
   std::uint32_t cwnd_est_ = 3;
@@ -243,6 +386,26 @@ SegMimic* FlowMimic<Cursor>::find_seg(net::Seq32 seq) {
   if (it == segs_.begin()) return nullptr;
   --it;
   return net::seq_in_range(seq, it->start, it->end) ? &*it : nullptr;
+}
+
+template <typename Cursor>
+bool FlowMimic<Cursor>::is_capture_dup(const PacketView& a,
+                                       const PacketView& b) const {
+  // Identical header (direction, seq/ack, length, window, flags, SACKs)
+  // within dup_window of each other. A retransmission repeats seq but
+  // arrives at least an RTT later; capture duplicates arrive back to back
+  // (same timestamp for mirror ports), so the window separates the two.
+  if (a.from_server != b.from_server || a.seq != b.seq || a.ack != b.ack ||
+      a.payload != b.payload || a.window != b.window ||
+      !(a.flags == b.flags)) {
+    return false;
+  }
+  if (a.sacks.size() != b.sacks.size()) return false;
+  for (std::size_t i = 0; i < a.sacks.size(); ++i) {
+    if (!(a.sacks[i] == b.sacks[i])) return false;
+  }
+  const Duration d = b.ts >= a.ts ? b.ts - a.ts : a.ts - b.ts;
+  return d <= config_.dup_window;
 }
 
 template <typename Cursor>
@@ -314,6 +477,22 @@ void FlowMimic<Cursor>::process_server_packet(const PacketView& p,
   const net::Seq32 end = p.seq + eff_len;
 
   if (net::at_or_after(p.seq, snd_nxt_)) {
+    if (net::after(p.seq, snd_nxt_)) {
+      // Capture gap: the server must have sent [snd_nxt_, p.seq) for this
+      // packet to exist, but the capture never recorded it (kernel capture
+      // drop). Track an inferred segment so ACK/SACK bookkeeping stays
+      // consistent; it never yields RTT samples, and a later
+      // "retransmission" of it demotes its stall to kUndetermined.
+      SegMimic gap;
+      gap.start = snd_nxt_;
+      gap.end = p.seq;
+      gap.index = segs_.size();
+      gap.tx_times.push_back(p.ts);
+      gap.inferred = true;
+      segs_.push_back(std::move(gap));
+      ++quality_.seq_gaps;
+      quality_.gap_bytes += net::distance(snd_nxt_, p.seq);
+    }
     // New data.
     SegMimic seg;
     seg.start = p.seq;
@@ -326,12 +505,24 @@ void FlowMimic<Cursor>::process_server_packet(const PacketView& p,
     return;
   }
 
-  // Retransmission.
+  // Retransmission — or a late record filling an inferred capture gap.
   SegMimic* seg = find_seg(p.seq);
   if (seg == nullptr) return;  // overlap we cannot attribute
+  if (seg->inferred && seg->start == p.seq && seg->end == end) {
+    // Local capture reordering, not a retransmission: the record for
+    // exactly these bytes arrived one slot late. Adopt it as the original
+    // transmission and un-count the gap.
+    seg->inferred = false;
+    seg->tx_times.back() = p.ts;
+    a.seg_idx = static_cast<int>(seg->index);
+    --quality_.seq_gaps;
+    quality_.gap_bytes -= seg->len();
+    return;
+  }
   a.is_retrans = true;
   a.seg_idx = static_cast<int>(seg->index);
   a.prior_retrans = seg->transmissions() - 1;
+  if (seg->inferred) a.capture_suspect = true;
 
   const Duration elapsed = p.ts - seg->tx_times.back();
   const Duration rto_now = rto_.rto();
@@ -431,7 +622,7 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
         s.lost_est = false;
         s.retrans_pending = false;
         ++newly_sacked;
-        if (s.transmissions() == 1) {
+        if (s.transmissions() == 1 && !s.inferred) {
           // SACK-time RTT sample, mirroring the sender.
           const Duration rtt = p.ts - s.tx_times.front();
           rto_.sample(rtt);
@@ -454,7 +645,7 @@ void FlowMimic<Cursor>::process_client_packet(const PacketView& p, PktAnno& a,
         s.acked = true;
         s.acked_time = p.ts;
         ++n_acked;
-        if (s.transmissions() == 1 && !s.sacked &&
+        if (s.transmissions() == 1 && !s.sacked && !s.inferred &&
             (!have || s.tx_times.front() > newest)) {
           newest = s.tx_times.front();
           have = true;
@@ -544,8 +735,25 @@ void FlowMimic<Cursor>::run(FlowAnalysis& out) {
 
   annos_.resize(cursor_.size());
   for (std::size_t i = 0; i < cursor_.size(); ++i) {
-    const PacketView p = cursor_.at(i);
+    const PacketView p = pkt(i);
     PktAnno& a = annos_[i];
+    if (p.truncated) ++quality_.truncated_packets;
+    if (config_.suppress_capture_dups && i > 0 &&
+        is_capture_dup(pkt(i - 1), p)) {
+      // Capture duplicate (mirror port / dual tap): the stack saw this
+      // packet once. Carry the previous packet's state snapshot forward
+      // without re-processing, so the copy adds no data, retransmission,
+      // or request accounting.
+      a = annos_[i - 1];
+      a.server_data = false;
+      a.is_retrans = false;
+      a.is_timeout_retrans = false;
+      a.is_request = false;
+      a.seg_idx = -1;
+      a.capture_suspect = false;
+      ++quality_.dup_packets;
+      continue;
+    }
     if (p.from_server) {
       process_server_packet(p, a);
       if (a.server_data) {
@@ -577,7 +785,7 @@ void FlowMimic<Cursor>::run(FlowAnalysis& out) {
   // Transfer-level metrics.
   if (cursor_.size() > 0) {
     out.transmission_time =
-        cursor_.at(cursor_.size() - 1).ts - cursor_.at(0).ts;
+        pkt(cursor_.size() - 1).ts - pkt(0).ts;
   }
   for (const auto& s : segs_) out.unique_bytes += s.len();
   if (!out.rtt_samples_us.empty()) {
@@ -597,12 +805,24 @@ void FlowMimic<Cursor>::run(FlowAnalysis& out) {
 
   detect_and_classify(out);
 
+  // Capture quality: drop-rate estimate + deterministic confidence score.
+  if (out.unique_bytes > 0) {
+    quality_.est_drop_rate =
+        std::min(1.0, static_cast<double>(quality_.gap_bytes) /
+                          static_cast<double>(out.unique_bytes));
+  }
+  quality_.confidence = (1.0 - quality_.est_drop_rate) *
+                        (quality_.mid_stream ? 0.5 : 1.0) *
+                        (quality_.truncated_packets > 0 ? 0.9 : 1.0);
+  out.capture = quality_;
+  record_capture_quality(quality_);
+
   // Average speed over the *active* data phase: first payload transmission
   // to flow end, minus stalled time — i.e. the transfer rate the service
   // delivers while actually moving data.
   if (!segs_.empty() && cursor_.size() > 0) {
     const Duration data_phase =
-        cursor_.at(cursor_.size() - 1).ts - segs_.front().tx_times.front();
+        pkt(cursor_.size() - 1).ts - segs_.front().tx_times.front();
     // Stalls that straddle the start of the data phase (e.g. a back-end
     // fetch ending in the first data packet) can push `active` to zero;
     // fall back to the raw data-phase rate then.
@@ -617,9 +837,9 @@ void FlowMimic<Cursor>::run(FlowAnalysis& out) {
 template <typename Cursor>
 void FlowMimic<Cursor>::detect_and_classify(FlowAnalysis& out) {
   if (cursor_.size() == 0) return;
-  TimePoint prev_ts = cursor_.at(0).ts;
+  TimePoint prev_ts = pkt(0).ts;
   for (std::size_t i = 0; i + 1 < cursor_.size(); ++i) {
-    const TimePoint cur_ts = cursor_.at(i + 1).ts;
+    const TimePoint cur_ts = pkt(i + 1).ts;
     const Duration gap = cur_ts - prev_ts;
     prev_ts = cur_ts;
     const PktAnno& prev = annos_[i];
@@ -628,6 +848,7 @@ void FlowMimic<Cursor>::detect_and_classify(FlowAnalysis& out) {
     if (gap <= thresh) continue;
 
     StallRecord rec = classify_stall(i, i + 1);
+    if (rec.capture_suspect) ++quality_.suspect_stalls;
     out.stalled_time += rec.duration;
     record_stall(rec);
     out.stalls.push_back(rec);
@@ -643,8 +864,8 @@ StallRecord FlowMimic<Cursor>::classify_stall(std::size_t prev_idx,
   const PktAnno& prev = annos_[prev_idx];
   const PktAnno& cur = annos_[cur_idx];
   StallRecord rec;
-  rec.start = cursor_.at(prev_idx).ts;
-  rec.end = cursor_.at(cur_idx).ts;
+  rec.start = pkt(prev_idx).ts;
+  rec.end = pkt(cur_idx).ts;
   rec.duration = rec.end - rec.start;
   rec.state_at_stall = prev.state;
   rec.in_flight = prev.in_flight;
@@ -655,6 +876,14 @@ StallRecord FlowMimic<Cursor>::classify_stall(std::size_t prev_idx,
   }
 
   if (cur.server_data && cur.is_retrans) {
+    if (cur.capture_suspect) {
+      // The "retransmission" covers bytes whose original transmission the
+      // capture never recorded; genuine loss and a capture drop of the
+      // first copy are indistinguishable, so no cause can be asserted.
+      rec.cause = StallCause::kUndetermined;
+      rec.capture_suspect = true;
+      return rec;
+    }
     if (cur.is_timeout_retrans) {
       rec.cause = StallCause::kRetransmission;
       bool f_double = false;
@@ -686,6 +915,13 @@ StallRecord FlowMimic<Cursor>::classify_stall(std::size_t prev_idx,
     rec.cause = head_seqs_.count(seg.start)
                     ? StallCause::kDataUnavailable
                     : StallCause::kResourceConstraint;
+    if (rec.cause == StallCause::kDataUnavailable && quality_.mid_stream &&
+        seg.start == stream_head_) {
+      // The stream head is synthetic (mid-stream capture seed), not an
+      // observed request boundary — a back-end fetch cannot be asserted.
+      rec.cause = StallCause::kUndetermined;
+      rec.capture_suspect = true;
+    }
     return rec;
   }
 
@@ -774,6 +1010,10 @@ RetransCause FlowMimic<Cursor>::classify_retrans(const PktAnno& prev,
 }
 
 }  // namespace
+
+Analyzer::Analyzer(AnalyzerConfig config) : config_(config) {
+  config_.validate();
+}
 
 FlowAnalysis Analyzer::analyze_flow(const Flow& flow) const {
   FlowAnalysis out;

@@ -69,6 +69,46 @@ struct StallRecord {
   /// Index (into the flow's packet sequence — Flow::packets or a
   /// FlowView's packet_indices positions) of the packet ending the stall.
   std::size_t cur_pkt_index = 0;
+  /// The classifier demoted this stall to kUndetermined because capture
+  /// artifacts (a sequence gap, a mid-stream start) made the cause
+  /// evidence untrustworthy. Counted in CaptureQuality::suspect_stalls.
+  bool capture_suspect = false;
+};
+
+/// Per-flow capture-trustworthiness record: what the analyzer inferred
+/// about the *capture* (as opposed to the connection) while mimicking the
+/// flow. Default-constructed values mean "pristine capture". Populated on
+/// every analysis; the robustness harness (bench/robustness_stability.cc)
+/// cross-checks these sums against the tapo_capture_artifacts_total
+/// telemetry counters, which are incremented from the same sites.
+struct CaptureQuality {
+  /// Adjacent identical-header records suppressed as capture duplicates
+  /// (mirror ports / dual taps), not counted as retransmissions.
+  std::uint64_t dup_packets = 0;
+  /// Server-side sequence gaps: data the server must have sent but the
+  /// capture never recorded (kernel capture drops).
+  std::uint64_t seq_gaps = 0;
+  std::uint64_t gap_bytes = 0;
+  /// Packets whose TCP options were cut by the snaplen (SACK blocks or
+  /// timestamps possibly missing).
+  std::uint64_t truncated_packets = 0;
+  /// No handshake observed; sequence state was seeded from the first
+  /// server data packet (rotated / mid-stream capture).
+  bool mid_stream = false;
+  /// Stalls demoted to StallCause::kUndetermined because artifacts made
+  /// the evidence ambiguous (see StallRecord::capture_suspect).
+  std::uint64_t suspect_stalls = 0;
+  /// Estimated capture drop rate: gap_bytes / unique stream bytes.
+  double est_drop_rate = 0.0;
+  /// Deterministic trust score in (0, 1]:
+  ///   (1 - est_drop_rate) * (mid_stream ? 0.5 : 1) * (truncated ? 0.9 : 1).
+  double confidence = 1.0;
+
+  /// Any artifact at all — the flow counts toward tapo_flows_degraded_total.
+  bool degraded() const {
+    return dup_packets != 0 || seq_gaps != 0 || truncated_packets != 0 ||
+           mid_stream;
+  }
 };
 
 struct FlowAnalysis {
@@ -103,6 +143,9 @@ struct FlowAnalysis {
   std::uint64_t timeout_retrans = 0;  // timeout retransmissions observed
   std::uint64_t fast_retrans = 0;
   std::uint64_t spurious_retrans = 0;  // DSACK-confirmed
+
+  /// How much the capture itself can be trusted (default = pristine).
+  CaptureQuality capture;
 };
 
 struct AnalyzerConfig {
@@ -118,6 +161,45 @@ struct AnalyzerConfig {
   double rto_fraction = 0.9;
   /// Collect Fig.-11 in-flight samples (costs memory on big traces).
   bool sample_inflight_on_ack = true;
+  /// Suppress adjacent identical-header records as capture duplicates
+  /// (mirror ports / dual taps deliver both copies back to back). Off by
+  /// default: even a pristine single-tap capture can legitimately contain
+  /// back-to-back byte-identical pure ACKs (dupacks emitted in the same
+  /// microsecond), which no analyzer can tell from a mirror copy — enable
+  /// this only when the capture setup is known to duplicate. Enabling it
+  /// is what makes dup-impaired captures classify identically to pristine
+  /// ones (bench/robustness_stability.cc).
+  bool suppress_capture_dups = false;
+  /// With suppression on, records count as duplicates when their headers
+  /// match and their timestamps differ by at most this much (0 = exact).
+  Duration dup_window = Duration::zero();
+  /// Declared capture-clock granularity: every packet timestamp is floored
+  /// to a multiple of this before the mimic sees it (0 = off). Flooring is
+  /// idempotent, so analysis at quantum q is *invariant* to capture-side
+  /// timestamp quantization at any granularity dividing q — the pristine
+  /// tap and the coarse-clock capture classify bit-identically
+  /// (bench/robustness_stability.cc). Costs timing resolution: stall
+  /// boundaries and RTT samples are only accurate to +-q.
+  Duration ts_quantum = Duration::zero();
+
+  // Fluent construction (aggregate-init keeps working); each setter
+  // validates eagerly and throws std::invalid_argument on a value the
+  // classifier cannot run with, mirroring ExperimentConfig::with_*.
+  AnalyzerConfig& with_tau(double t);                    // > 0
+  AnalyzerConfig& with_dupthres(std::uint32_t n);        // > 0
+  AnalyzerConfig& with_small_inflight(std::uint32_t n);  // > 0
+  AnalyzerConfig& with_rto(const tcp::RtoConfig& cfg);
+  AnalyzerConfig& with_rto_fraction(double f);           // > 0
+  AnalyzerConfig& with_inflight_sampling(bool on);
+  /// Enables duplicate suppression with the given window (>= 0).
+  AnalyzerConfig& with_dup_window(Duration w);
+  /// Sets the declared capture-clock granularity (>= 0; 0 disables).
+  AnalyzerConfig& with_ts_quantum(Duration q);
+
+  /// Throws std::invalid_argument on any out-of-range field. Called by the
+  /// Analyzer constructor, so a bad config fails at construction, not as a
+  /// silent misclassification deep in a run.
+  void validate() const;
 };
 
 struct AnalysisResult {
@@ -126,7 +208,8 @@ struct AnalysisResult {
 
 class Analyzer {
  public:
-  explicit Analyzer(AnalyzerConfig config = {}) : config_(config) {}
+  /// Validates the config (std::invalid_argument on out-of-range fields).
+  explicit Analyzer(AnalyzerConfig config = {});
 
   /// Both overloads run the identical mimic/classifier over a packet
   /// cursor; the Flow one reads owned FlowPackets, the FlowView one reads

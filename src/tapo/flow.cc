@@ -1,5 +1,6 @@
 #include "tapo/flow.h"
 
+#include <stdexcept>
 #include <unordered_map>
 
 namespace tapo::analysis {
@@ -41,6 +42,10 @@ void fold_meta(FlowMeta& m, const net::CapturedPacket& cp, bool from_server) {
   if (tcp.flags.fin) m.saw_fin = true;
   if (from_server) {
     m.server_payload_bytes += cp.payload_len;
+    if (cp.payload_len > 0 && !m.saw_server_data) {
+      m.saw_server_data = true;
+      m.first_server_data_seq = tcp.seq;
+    }
   } else {
     m.client_payload_bytes += cp.payload_len;
   }
@@ -48,8 +53,30 @@ void fold_meta(FlowMeta& m, const net::CapturedPacket& cp, bool from_server) {
 
 }  // namespace
 
+DemuxOptions& DemuxOptions::with_server_port(std::uint16_t port) {
+  server_port = port;
+  return *this;
+}
+
+DemuxOptions& DemuxOptions::with_min_packets(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument(
+        "DemuxOptions: min_packets must be > 0 (a zero-packet flow cannot "
+        "exist; use 1 to keep every flow)");
+  }
+  min_packets = n;
+  return *this;
+}
+
+void DemuxOptions::validate() const {
+  if (min_packets == 0) {
+    throw std::invalid_argument("DemuxOptions: min_packets must be > 0");
+  }
+}
+
 FlowViewSet demux_flow_views(const net::PacketTrace& trace,
                              const DemuxOptions& opts) {
+  opts.validate();
   const std::span<const net::CapturedPacket> pkts = trace.packets();
 
   // Pass 1: hash each packet's canonical key to a flow slot (first-seen
@@ -128,6 +155,8 @@ FlowViewSet demux_flow_views(const net::PacketTrace& trace,
       fold_meta(view, cp, cp.key == view.server_to_client);
     }
     if (view.init_rwnd_bytes == 0) view.init_rwnd_bytes = view.syn_window;
+    view.mid_stream =
+        !view.saw_syn && !view.saw_synack && view.saw_server_data;
     out.flows_.push_back(view);
   }
   return out;
@@ -153,6 +182,7 @@ std::vector<Flow> demux_flows(const net::PacketTrace& trace,
       fp.payload = cp.payload_len;
       fp.flags = cp.tcp.flags;
       fp.window = cp.tcp.window;
+      fp.truncated = cp.truncated;
       for (const net::SackBlock& b : cp.tcp.sack_blocks) {
         flow.append_sack(b);
       }

@@ -40,6 +40,9 @@ struct FlowPacket {
   std::uint8_t sack_count = 0;
   /// Orients the packet relative to the data sender.
   bool from_server = false;
+  /// Snaplen truncation cut this packet's TCP options (CapturedPacket::
+  /// truncated carried through the owning demux).
+  bool truncated = false;
 
   net::Seq32 end_seq() const {
     return seq + (payload + (flags.syn ? 1u : 0u) + (flags.fin ? 1u : 0u));
@@ -74,6 +77,16 @@ struct FlowMeta {
 
   std::uint64_t server_payload_bytes = 0;  // sum over packets (incl. retrans)
   std::uint64_t client_payload_bytes = 0;
+
+  /// Capture started mid-connection: no SYN or SYN-ACK was observed but
+  /// server data was (rotated captures, mid-stream taps). The mimic then
+  /// seeds its sequence state from first_server_data_seq instead of the
+  /// (never seen) ISN and records the degradation in CaptureQuality.
+  bool mid_stream = false;
+  bool saw_server_data = false;
+  /// Sequence number of the first server data packet in capture order
+  /// (valid when saw_server_data).
+  net::Seq32 first_server_data_seq;
 };
 
 struct Flow : FlowMeta {
@@ -120,6 +133,15 @@ struct DemuxOptions {
   std::uint16_t server_port = 0;
   /// Drop flows with fewer packets than this (noise in real captures).
   std::size_t min_packets = 1;
+
+  // Fluent construction (aggregate-init keeps working); setters validate
+  // eagerly and throw std::invalid_argument, mirroring ExperimentConfig.
+  DemuxOptions& with_server_port(std::uint16_t port);
+  DemuxOptions& with_min_packets(std::size_t n);  // must be > 0
+
+  /// Throws std::invalid_argument on an unusable combination (min_packets
+  /// of zero). Called by demux_flow_views on entry.
+  void validate() const;
 };
 
 /// Result of a view-based demux: the per-flow views plus the index pool

@@ -1,10 +1,78 @@
 #include "tapo/live.h"
 
+#include <stdexcept>
 #include <utility>
 
 #include "telemetry/telemetry.h"
 
 namespace tapo::analysis {
+
+LiveConfig& LiveConfig::with_analyzer(const AnalyzerConfig& a) {
+  a.validate();
+  analyzer = a;
+  return *this;
+}
+
+LiveConfig& LiveConfig::with_demux(const DemuxOptions& d) {
+  d.validate();
+  demux = d;
+  return *this;
+}
+
+LiveConfig& LiveConfig::with_idle_timeout(Duration d) {
+  if (d <= Duration::zero()) {
+    throw std::invalid_argument(
+        "LiveConfig: idle_timeout must be > 0 (flows would finalize on "
+        "every packet)");
+  }
+  idle_timeout = d;
+  return *this;
+}
+
+LiveConfig& LiveConfig::with_fin_linger(Duration d) {
+  if (d < Duration::zero()) {
+    throw std::invalid_argument("LiveConfig: fin_linger must be >= 0");
+  }
+  fin_linger = d;
+  return *this;
+}
+
+LiveConfig& LiveConfig::with_max_flows(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument(
+        "LiveConfig: max_flows must be > 0 (the table could hold nothing)");
+  }
+  max_flows = n;
+  return *this;
+}
+
+LiveConfig& LiveConfig::with_max_packets_per_flow(std::size_t n) {
+  if (n <= 1) {
+    throw std::invalid_argument(
+        "LiveConfig: max_packets_per_flow must be > 1 (every flow would be "
+        "truncated on arrival)");
+  }
+  max_packets_per_flow = n;
+  return *this;
+}
+
+void LiveConfig::validate() const {
+  analyzer.validate();
+  demux.validate();
+  if (idle_timeout <= Duration::zero()) {
+    throw std::invalid_argument("LiveConfig: idle_timeout must be > 0");
+  }
+  if (fin_linger < Duration::zero()) {
+    throw std::invalid_argument("LiveConfig: fin_linger must be >= 0");
+  }
+  if (max_flows == 0) {
+    throw std::invalid_argument("LiveConfig: max_flows must be > 0");
+  }
+  if (max_packets_per_flow <= 1) {
+    throw std::invalid_argument(
+        "LiveConfig: max_packets_per_flow must be > 1");
+  }
+}
 
 namespace {
 
@@ -28,7 +96,14 @@ void count_flow_event(const char* which) {
 LiveAnalyzer::LiveAnalyzer(LiveConfig config, FlowDoneFn on_flow_done)
     : config_(config),
       on_flow_done_(std::move(on_flow_done)),
-      analyzer_(config.analyzer) {}
+      analyzer_(config.analyzer) {
+  config_.validate();
+}
+
+LiveAnalyzer::LiveAnalyzer(LiveConfig config, FlowSink& sink)
+    : config_(config), sink_(&sink), analyzer_(config.analyzer) {
+  config_.validate();
+}
 
 void LiveAnalyzer::finalize(const net::FlowKey& key) {
   auto it = flows_.find(key);
@@ -42,9 +117,16 @@ void LiveAnalyzer::finalize(const net::FlowKey& key) {
   count_flow_event("finalize");
   stats_.active_flows = flows_.size();
   if (entry.trace.empty()) return;
-  const auto result = analyzer_.analyze(entry.trace, config_.demux);
+  auto result = analyzer_.analyze(entry.trace, config_.demux);
   if (on_flow_done_) {
     for (const auto& fa : result.flows) on_flow_done_(fa);
+  }
+  if (sink_ != nullptr && !result.flows.empty()) {
+    FlowResult fr;
+    fr.index = sink_ordinal_++;
+    fr.packets = entry.trace.size();
+    fr.analyses = std::move(result.flows);
+    sink_->consume(std::move(fr));
   }
 }
 
@@ -112,6 +194,12 @@ void LiveAnalyzer::add_packet(const net::CapturedPacket& pkt) {
 void LiveAnalyzer::flush() {
   while (!lru_.empty()) finalize(lru_.front());
   stats_.active_flows = 0;
+  if (sink_ != nullptr) {
+    RunStats rs;
+    rs.flows = sink_ordinal_;
+    rs.threads = 1;
+    sink_->finish(rs);
+  }
 }
 
 }  // namespace tapo::analysis

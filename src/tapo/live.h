@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "tapo/analyzer.h"
+#include "tapo/sink.h"
 
 namespace tapo::analysis {
 
@@ -31,6 +32,20 @@ struct LiveConfig {
   Duration fin_linger = Duration::seconds(3.0);
   std::size_t max_flows = 100'000;
   std::size_t max_packets_per_flow = 200'000;
+
+  // Fluent construction (aggregate-init keeps working); setters validate
+  // eagerly and throw std::invalid_argument, mirroring ExperimentConfig.
+  LiveConfig& with_analyzer(const AnalyzerConfig& a);
+  LiveConfig& with_demux(const DemuxOptions& d);
+  LiveConfig& with_idle_timeout(Duration d);   // > 0
+  LiveConfig& with_fin_linger(Duration d);     // >= 0
+  LiveConfig& with_max_flows(std::size_t n);   // > 0
+  LiveConfig& with_max_packets_per_flow(std::size_t n);  // > 1
+
+  /// Throws std::invalid_argument on any unusable field (non-positive
+  /// idle_timeout, zero max_flows, ...). Called by the LiveAnalyzer
+  /// constructors, plus the nested analyzer/demux validations.
+  void validate() const;
 };
 
 struct LiveStats {
@@ -49,11 +64,21 @@ class LiveAnalyzer {
 
   explicit LiveAnalyzer(LiveConfig config, FlowDoneFn on_flow_done);
 
+  /// Streams finalized flows into a tapo::FlowSink — the same delivery API
+  /// the parallel experiment runner uses, so one sink implementation (an
+  /// aggregator, a CSV writer) serves both producers. Each finalized flow
+  /// becomes one FlowResult{index = finalize ordinal, analyses, packets};
+  /// the simulation-only outcome fields stay default. flush() calls
+  /// sink.finish() once with the flows-finalized total. The sink must
+  /// outlive the analyzer.
+  LiveAnalyzer(LiveConfig config, FlowSink& sink);
+
   /// Feeds one packet. Packets must arrive in (roughly) capture order;
   /// the packet's timestamp drives idle-timeout bookkeeping.
   void add_packet(const net::CapturedPacket& pkt);
 
-  /// Finalizes every remaining flow (end of capture / shutdown).
+  /// Finalizes every remaining flow (end of capture / shutdown). With a
+  /// FlowSink attached, also invokes its finish() — call flush() once.
   void flush();
 
   const LiveStats& stats() const { return stats_; }
@@ -71,6 +96,8 @@ class LiveAnalyzer {
 
   LiveConfig config_;
   FlowDoneFn on_flow_done_;
+  FlowSink* sink_ = nullptr;        // optional streaming delivery target
+  std::size_t sink_ordinal_ = 0;    // FlowResult::index for the next flow
   Analyzer analyzer_;
 
   std::unordered_map<net::FlowKey, Entry, net::FlowKeyHash> flows_;

@@ -1,0 +1,76 @@
+// The shared result-delivery surface: one FlowResult shape and one FlowSink
+// abstraction, consumed identically by the parallel experiment runner
+// (workload/runner.h), the streaming LiveAnalyzer (tapo/live.h), and the
+// CSV exporters (tapo/csv.h). A sink written once — an aggregator, a CSV
+// writer, a dashboard feeder — plugs into any of the three producers.
+//
+// These types live in namespace tapo (not tapo::workload) because the
+// streaming analyzer sits below the workload layer: tapo_core must not
+// depend on tapo_workload. The workload namespace re-exports them under
+// their historical names, so existing callers compile unchanged.
+//
+// Ordering contract (all producers honor it): consume() is invoked exactly
+// once per flow, in ascending index order, from one thread at a time —
+// sinks need no internal synchronization. finish() is called once, after
+// the last flow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/trace.h"
+#include "tapo/analyzer.h"
+#include "tcp/connection.h"
+
+namespace tapo {
+
+/// What one simulated flow produced (simulation-level view). Produced by
+/// workload::run_flow; a trace-driven producer (LiveAnalyzer) leaves the
+/// simulation-only fields default-constructed.
+struct FlowOutcome {
+  tcp::ConnectionMetrics metrics;
+  tcp::SenderStats sender_stats;
+  std::uint32_t init_rwnd_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  bool completed = false;
+  /// Server-NIC capture when workload::TraceCapture::kServerNic was
+  /// requested (simulation) — absent for trace-driven producers.
+  std::optional<net::PacketTrace> trace;
+};
+
+/// Everything a producer delivers for one flow.
+struct FlowResult {
+  std::size_t index = 0;  // flow index (runner) / finalize ordinal (live)
+  FlowOutcome outcome;    // simulation-level facts; default when trace-driven
+  /// Per-flow analyses (normally exactly one; empty when analysis is off).
+  std::vector<analysis::FlowAnalysis> analyses;
+  std::uint64_t packets = 0;  // captured at the server NIC
+};
+
+/// Run-level observability: wall clock, per-phase worker time, throughput.
+/// Trace-driven producers fill what they can (flows; zeros elsewhere).
+struct RunStats {
+  std::size_t flows = 0;
+  std::size_t threads = 1;
+  double wall_seconds = 0.0;
+  /// Worker seconds summed across threads, split by pipeline phase.
+  double generate_seconds = 0.0;  // draw_scenario
+  double simulate_seconds = 0.0;  // run_flow
+  double analyze_seconds = 0.0;   // Analyzer::analyze
+  double flows_per_second = 0.0;
+  /// Busy worker time / (threads * wall), in [0, 1].
+  double worker_utilization = 0.0;
+};
+
+/// Streaming consumer of per-flow results (see ordering contract above).
+class FlowSink {
+ public:
+  virtual ~FlowSink() = default;
+  virtual void consume(FlowResult&& result) = 0;
+  /// Called once, after the last flow, with the run's performance stats.
+  virtual void finish(const RunStats& stats) { (void)stats; }
+};
+
+}  // namespace tapo

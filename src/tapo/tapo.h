@@ -11,18 +11,30 @@
 //   auto causes = tapo::analysis::make_stall_breakdown(result.flows);
 //
 //   // Or simulate a workload and analyze it:
-//   tapo::workload::ExperimentConfig cfg;
-//   cfg.profile = tapo::workload::web_search_profile();
+//   auto cfg = tapo::workload::ExperimentConfig{}
+//                  .with_profile(tapo::workload::web_search_profile())
+//                  .with_flows(500);
 //   auto res = tapo::workload::run_experiment(cfg);
+//
+// Result delivery is unified on tapo::FlowSink (tapo/sink.h): the parallel
+// ParallelRunner, the streaming LiveAnalyzer, and the CSV writers
+// (analysis::CsvSink) all produce/consume the same FlowResult stream, so a
+// sink written once (aggregator, CSV exporter, custom) works offline,
+// parallel, and live. Capture realism lives in sim::CaptureChannel
+// (sim/capture_channel.h), wired into experiments via
+// ExperimentConfig::with_impairments; the analyzer reports per-flow
+// degradation in analysis::CaptureQuality.
 #pragma once
 
-#include "net/trace.h"       // IWYU pragma: export
-#include "pcap/pcap.h"       // IWYU pragma: export
-#include "tapo/analyzer.h"   // IWYU pragma: export
-#include "tapo/csv.h"        // IWYU pragma: export
-#include "tapo/flow.h"       // IWYU pragma: export
-#include "tapo/live.h"       // IWYU pragma: export
-#include "tapo/report.h"     // IWYU pragma: export
-#include "tcp/connection.h"  // IWYU pragma: export
+#include "net/trace.h"            // IWYU pragma: export
+#include "pcap/pcap.h"            // IWYU pragma: export
+#include "sim/capture_channel.h"  // IWYU pragma: export
+#include "tapo/analyzer.h"        // IWYU pragma: export
+#include "tapo/csv.h"             // IWYU pragma: export
+#include "tapo/flow.h"            // IWYU pragma: export
+#include "tapo/live.h"            // IWYU pragma: export
+#include "tapo/report.h"          // IWYU pragma: export
+#include "tapo/sink.h"            // IWYU pragma: export
+#include "tcp/connection.h"       // IWYU pragma: export
 #include "workload/experiment.h"  // IWYU pragma: export
 #include "workload/runner.h"      // IWYU pragma: export

@@ -79,6 +79,20 @@ class TimePoint {
   std::int64_t us_ = 0;
 };
 
+/// Floors `t` to a multiple of `q` (negative-safe: -3us at q=10us floors to
+/// -10us, matching what a coarse capture clock would stamp). Idempotent —
+/// floor_to(floor_to(t, q), q) == floor_to(t, q) — which is what makes
+/// analysis at a declared clock granularity invariant to capture-side
+/// quantization at the same granularity. q <= 0 returns t unchanged.
+constexpr TimePoint floor_to(TimePoint t, Duration q) {
+  if (q <= Duration::zero()) return t;
+  const std::int64_t us = t.us();
+  const std::int64_t step = q.us();
+  std::int64_t floored = us / step * step;
+  if (us < 0 && us % step != 0) floored -= step;
+  return TimePoint::from_us(floored);
+}
+
 inline std::string to_string(Duration d) {
   if (d.us() >= 1'000'000) return std::to_string(d.sec()) + "s";
   if (d.us() >= 1'000) return std::to_string(d.ms()) + "ms";

@@ -61,6 +61,13 @@ ExperimentConfig& ExperimentConfig::with_capture(TraceCapture c) {
   return *this;
 }
 
+ExperimentConfig& ExperimentConfig::with_impairments(
+    const sim::CaptureImpairments& imp) {
+  imp.validate();
+  impairments = imp;
+  return *this;
+}
+
 void ExperimentConfig::validate() const {
   if (flows == 0) {
     throw std::invalid_argument(
@@ -77,6 +84,7 @@ void ExperimentConfig::validate() const {
     throw std::invalid_argument(
         "ExperimentConfig: max_flow_time must be positive");
   }
+  impairments.validate();
 }
 
 FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
@@ -104,9 +112,7 @@ FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 std::size_t threads) {
-  RunOptions options;
-  options.threads = threads;
-  ParallelRunner runner(config, std::move(options));
+  ParallelRunner runner(config, RunOptions{.threads = threads, .progress = {}});
   CollectingSink sink;
   runner.run(sink);
   return sink.take();

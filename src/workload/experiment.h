@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "net/trace.h"
+#include "sim/capture_channel.h"
 #include "tapo/analyzer.h"
+#include "tapo/sink.h"
 #include "tcp/connection.h"
 #include "workload/profiles.h"
 
@@ -47,6 +49,13 @@ struct ExperimentConfig {
   /// Keep each flow's packet capture in its FlowOutcome (independent of
   /// `analyze`, which captures internally but discards after analysis).
   TraceCapture capture = TraceCapture::kNone;
+  /// Capture-realism impairments (sim::CaptureChannel) applied to each
+  /// flow's server-NIC trace before analysis and before it is stored in
+  /// the outcome. Default-off: everything downstream sees the pristine
+  /// tap, bit-identically. The per-flow channel seed is
+  /// impairments.seed ^ the flow's derived seed, so parallel runs stay
+  /// deterministic and bit-identical to serial.
+  sim::CaptureImpairments impairments;
 
   // Fluent construction. Each setter validates eagerly where it can and
   // returns *this so configs read as one expression:
@@ -60,6 +69,7 @@ struct ExperimentConfig {
   ExperimentConfig& with_analysis(bool on);
   ExperimentConfig& with_analyzer(analysis::AnalyzerConfig a);
   ExperimentConfig& with_capture(TraceCapture c);
+  ExperimentConfig& with_impairments(const sim::CaptureImpairments& imp);
 
   /// Full validation, run by every runner entry point before any flow is
   /// simulated. Throws std::invalid_argument with a self-explanatory
@@ -68,15 +78,9 @@ struct ExperimentConfig {
   void validate() const;
 };
 
-struct FlowOutcome {
-  tcp::ConnectionMetrics metrics;
-  tcp::SenderStats sender_stats;
-  std::uint32_t init_rwnd_bytes = 0;
-  std::uint64_t response_bytes = 0;
-  bool completed = false;
-  /// Server-NIC capture when TraceCapture::kServerNic was requested.
-  std::optional<net::PacketTrace> trace;
-};
+/// Re-export: the outcome shape lives in tapo/sink.h so the streaming
+/// LiveAnalyzer (below the workload layer) can deliver the same FlowResult.
+using FlowOutcome = tapo::FlowOutcome;
 
 struct ExperimentResult {
   std::vector<FlowOutcome> outcomes;

@@ -98,6 +98,15 @@ RunStats ParallelRunner::run(FlowSink& sink) {
     FlowOutcome outcome = run_flow(
         scenario, flow_rng.split(), config_.max_flow_time,
         need_capture ? TraceCapture::kServerNic : TraceCapture::kNone);
+    if (config_.impairments.enabled() && outcome.trace) {
+      // Degrade the pristine tap before anything downstream sees it, with
+      // a per-flow channel seed so parallel stays bit-identical to serial.
+      sim::CaptureImpairments imp = config_.impairments;
+      // Per-flow reseed of a private copy; the validated base config is
+      // untouched and any seed is legal. tapo-lint: allow(config-mutation)
+      imp.seed ^= seeds[i];
+      outcome.trace = sim::apply_impairments(*outcome.trace, imp);
+    }
     const auto t2 = Clock::now();
 
     FlowResult result;

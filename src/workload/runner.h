@@ -30,41 +30,17 @@
 
 #include "stats/cdf.h"
 #include "tapo/report.h"
+#include "tapo/sink.h"
 #include "workload/experiment.h"
 
 namespace tapo::workload {
 
-/// Everything the runner produced for one flow.
-struct FlowResult {
-  std::size_t index = 0;     // flow index in [0, config.flows)
-  FlowOutcome outcome;       // includes the trace iff config.capture is on
-  /// Per-flow analyses (normally exactly one; empty when !config.analyze).
-  std::vector<analysis::FlowAnalysis> analyses;
-  std::uint64_t packets = 0;  // captured at the server NIC
-};
-
-/// Run-level observability: wall clock, per-phase worker time, throughput.
-struct RunStats {
-  std::size_t flows = 0;
-  std::size_t threads = 1;
-  double wall_seconds = 0.0;
-  /// Worker seconds summed across threads, split by pipeline phase.
-  double generate_seconds = 0.0;  // draw_scenario
-  double simulate_seconds = 0.0;  // run_flow
-  double analyze_seconds = 0.0;   // Analyzer::analyze
-  double flows_per_second = 0.0;
-  /// Busy worker time / (threads * wall), in [0, 1].
-  double worker_utilization = 0.0;
-};
-
-/// Streaming consumer of per-flow results (see ordering contract above).
-class FlowSink {
- public:
-  virtual ~FlowSink() = default;
-  virtual void consume(FlowResult&& result) = 0;
-  /// Called once, after the last flow, with the run's performance stats.
-  virtual void finish(const RunStats& stats) { (void)stats; }
-};
+// Re-exports: the result/sink surface lives in tapo/sink.h so the
+// streaming LiveAnalyzer and the CSV writers share it (one delivery API
+// for offline, parallel, and live analysis). Historical names preserved.
+using FlowResult = tapo::FlowResult;
+using RunStats = tapo::RunStats;
+using FlowSink = tapo::FlowSink;
 
 struct RunOptions {
   /// Worker threads: 1 = serial in the calling thread (no pool), 0 = all

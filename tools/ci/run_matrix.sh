@@ -14,7 +14,12 @@
 #   ubsan    -fsanitize=undefined, full ctest
 #   tsan     -fsanitize=thread, full ctest (includes the runner_parallel_tsan
 #            and telemetry_tsan race-check entries)
+#   robustness  -fsanitize=address, `robustness`-labeled tests only: the
+#            capture-channel/degradation suites plus the differential
+#            stability harness (bench/robustness_stability.cc), so fault
+#            injection runs under ASan without repeating the full sweep
 #
+
 # Each configuration gets its own build tree under build-ci/ so sanitizer
 # flags never bleed between them.
 set -euo pipefail
@@ -24,18 +29,23 @@ cd "$(dirname "$0")/../.."
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(lint default asan ubsan tsan)
+  CONFIGS=(lint default asan ubsan tsan robustness)
 fi
 
 build_and_test() {
-  local name="$1" sanitize="$2"
+  local name="$1" sanitize="$2" label="${3:-}"
   local dir="build-ci/${name}"
   echo "=== [${name}] configure (TAPO_SANITIZE='${sanitize}') ==="
   cmake -B "${dir}" -S . -DTAPO_SANITIZE="${sanitize}" -DTAPO_WERROR=ON
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${JOBS}"
-  echo "=== [${name}] ctest ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  if [ -n "${label}" ]; then
+    echo "=== [${name}] ctest -L ${label} ==="
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L "${label}"
+  else
+    echo "=== [${name}] ctest ==="
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  fi
 }
 
 for cfg in "${CONFIGS[@]}"; do
@@ -54,6 +64,7 @@ for cfg in "${CONFIGS[@]}"; do
     asan)    build_and_test asan address ;;
     ubsan)   build_and_test ubsan undefined ;;
     tsan)    build_and_test tsan thread ;;
+    robustness) build_and_test robustness address robustness ;;
     *)
       echo "unknown configuration: ${cfg}" >&2
       exit 2

@@ -1,0 +1,57 @@
+// Fixture: direct field mutation of validated configs outside the with_*
+// builders / aggregate init (config-mutation rule).
+namespace fixture {
+
+struct AnalyzerConfig {
+  double tau = 2.0;  // default member initializer: fine
+  unsigned dupthres = 3;
+  AnalyzerConfig& with_tau(double t);
+};
+
+struct CaptureImpairments {
+  double drop_prob = 0.0;
+  unsigned long long seed = 0;
+};
+
+AnalyzerConfig& AnalyzerConfig::with_tau(double t) {
+  tau = t;  // builder body assigns the bare field: fine
+  return *this;
+}
+
+void mutate(AnalyzerConfig& cfg, CaptureImpairments& imp) {
+  cfg.tau = 3.0;                 // expect-lint: config-mutation
+  imp.drop_prob = 0.05;          // expect-lint: config-mutation
+  imp.seed ^= 0x9e3779b9ull;     // expect-lint: config-mutation
+}
+
+void mutate_through_pointer(AnalyzerConfig* acfg) {
+  acfg->dupthres += 1;           // expect-lint: config-mutation
+}
+
+void suppressed(CaptureImpairments& imp, unsigned long long flow_seed) {
+  // tapo-lint: allow(config-mutation) — fixture: justified per-flow reseed
+  imp.seed ^= flow_seed;
+}
+
+void fine(const AnalyzerConfig& cfg) {
+  AnalyzerConfig acfg = cfg;                    // declaration init: fine
+  acfg.with_tau(4.0);                           // builder call: fine
+  CaptureImpairments imp{.drop_prob = 0.01};    // designated init: fine
+  const bool eq = cfg.tau == 2.0;               // comparisons: fine
+  const bool le = cfg.tau <= 2.0;
+  (void)imp;
+  (void)eq;
+  (void)le;
+}
+
+class Holder {
+ public:
+  // A class mutating its own config_ member through a sanctioned setter is
+  // not a config in flight: fine.
+  void set_tau(double t) { config_.tau = t; }
+
+ private:
+  AnalyzerConfig config_;
+};
+
+}  // namespace fixture

@@ -31,6 +31,18 @@
 //                      validated util parse helpers (util::parse_u64,
 //                      util::env_positive_size, ...) so malformed input
 //                      warns instead of silently truncating to 0.
+//   config-mutation    Direct field assignment through a config-named
+//                      receiver (`cfg.tau = ...`, `imp.seed ^= ...`) in
+//                      src/. The validated config structs (AnalyzerConfig,
+//                      LiveConfig, DemuxOptions, ExperimentConfig,
+//                      CaptureImpairments) are built with aggregate init or
+//                      the fluent with_* setters, both of which validate
+//                      eagerly; a later field poke skips that validation.
+//                      Bare assignments inside with_* bodies, designated
+//                      initializers (`.field = v`), declarations with
+//                      initializers and a class mutating its own `config_`
+//                      member through its sanctioned setters are all exempt
+//                      by construction.
 //
 // Suppressions: a comment containing `tapo-lint: allow(<rule>)` disables
 // that rule on the same line and on the line directly below (so a
@@ -194,6 +206,33 @@ bool path_contains(const std::string& path, const std::string& piece) {
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `id` names a shared analysis/experiment config value: a
+/// lowercase identifier with a snake_case segment naming a config noun
+/// (config, cfg, options, opts, imp, impairments) or a cfg/config suffix
+/// (acfg, dup_cfg). Trailing-underscore identifiers (config_) are a class's
+/// own member behind its sanctioned setters, not a config in flight, and
+/// are exempt.
+bool names_config_var(const std::string& id) {
+  if (id.empty() || id.back() == '_') return false;
+  if (std::any_of(id.begin(), id.end(), [](char c) {
+        return std::isupper(static_cast<unsigned char>(c)) != 0;
+      })) {
+    return false;
+  }
+  static const std::set<std::string> kWords = {
+      "config", "cfg", "options", "opts", "imp", "impairments"};
+  std::string segment;
+  for (const char c : id + "_") {
+    if (c == '_' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      if (kWords.count(segment) > 0) return true;
+      segment.clear();
+    } else {
+      segment += c;
+    }
+  }
+  return ends_with(id, "cfg") || ends_with(id, "config");
 }
 
 /// Identifiers chained by '.' or '->' to the left of position `pos`
@@ -477,6 +516,50 @@ void rule_naked_parse(const FileText& f, std::vector<Finding>& out) {
   }
 }
 
+void rule_config_mutation(const FileText& f, std::vector<Finding>& out) {
+  // The validated config structs are constructed by aggregate init or the
+  // fluent with_* setters, both of which validate eagerly; assigning a
+  // field through a config-named receiver afterwards skips validation.
+  // Builder bodies assign the bare field (no receiver), designated
+  // initializers have no receiver either, and declarations-with-init have
+  // no '.' chain — all exempt by construction. src/ only: tests and
+  // benches deliberately build invalid configs to test the validators.
+  if (!path_contains(f.path, "src/")) return;
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    const std::size_t first = line.find_first_not_of(' ');
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != '=') continue;
+      const char prev = i > 0 ? line[i - 1] : '\0';
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      // Skip comparisons: == (either half), !=, <=, >=.
+      if (next == '=' || prev == '=' || prev == '!' || prev == '<' ||
+          prev == '>') {
+        continue;
+      }
+      // Compound assignments (+= ^= |= ...) mutate too; their left
+      // operand ends before the operator character.
+      std::size_t lhs_end = i;
+      if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+          prev == '%' || prev == '^' || prev == '&' || prev == '|') {
+        lhs_end = i - 1;
+      }
+      const auto ids = left_operand_chain(line, lhs_end);
+      // Only `receiver.field = ...` (chain of >= 2) can bypass the
+      // builders; a bare identifier is a declaration or a builder body.
+      if (ids.size() < 2 || !names_config_var(ids.back())) continue;
+      out.push_back(
+          {f.path, n + 1, "config-mutation",
+           "direct field mutation of a validated config (" + ids.back() +
+               "." + ids.front() +
+               " = ...) bypasses with_*/aggregate-init validation; use the "
+               "builders or justify with tapo-lint: allow(config-mutation)"});
+      break;  // one finding per line is enough
+    }
+  }
+}
+
 /// Rules suppressed on line `n` (0-based) via `tapo-lint: allow(<rule>)` on
 /// the same line or the line directly above.
 std::set<std::string> suppressions_for_line(const FileText& f, std::size_t n) {
@@ -512,6 +595,7 @@ std::vector<Finding> lint_file(const std::string& path) {
   rule_trace_side_effect(f, found);
   rule_pragma_once(f, found);
   rule_naked_parse(f, found);
+  rule_config_mutation(f, found);
 
   std::vector<Finding> kept;
   for (const auto& finding : found) {
