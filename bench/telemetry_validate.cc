@@ -204,8 +204,26 @@ void check_metrics_json(const std::filesystem::path& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --prom <file>: validate a single Prometheus exposition file (used by
+  // the tapo_agg smoke test) instead of a full artifact directory.
+  if (argc == 3 && std::string(argv[1]) == "--prom") {
+    const std::filesystem::path prom = argv[2];
+    if (!std::filesystem::exists(prom)) {
+      fail(prom.string(), "missing");
+    } else {
+      check_prometheus(prom);
+    }
+    if (g_failures > 0) {
+      std::fprintf(stderr, "%d check(s) failed\n", g_failures);
+      return 1;
+    }
+    std::printf("prometheus file valid\n");
+    return 0;
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <telemetry-artifact-dir>\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <telemetry-artifact-dir> | --prom <file>\n",
+                 argv[0]);
     return 1;
   }
   const std::filesystem::path dir = argv[1];

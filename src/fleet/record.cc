@@ -1,0 +1,364 @@
+#include "fleet/record.h"
+
+#include <bit>
+#include <fstream>
+
+namespace tapo::fleet {
+
+namespace {
+
+// ---------------------------------------------------------------- encode
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_zigzag(std::vector<std::uint8_t>& out, std::int64_t v) {
+  // C++20 guarantees arithmetic right shift on signed values.
+  const std::uint64_t u = (static_cast<std::uint64_t>(v) << 1) ^
+                          static_cast<std::uint64_t>(v >> 63);
+  put_varint(out, u);
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_double(std::vector<std::uint8_t>& out, double d) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_bool(std::vector<std::uint8_t>& out, bool b) {
+  out.push_back(b ? 1 : 0);
+}
+
+void encode_payload(std::vector<std::uint8_t>& out, const FlowRecord& r) {
+  put_varint(out, r.shard_id);
+  put_varint(out, r.service);
+  put_varint(out, r.flow_index);
+  put_zigzag(out, r.start_us);
+  put_zigzag(out, r.transmission_us);
+  put_zigzag(out, r.stalled_us);
+  put_bool(out, r.completed);
+  put_varint(out, r.response_bytes);
+  put_varint(out, r.unique_bytes);
+  put_varint(out, r.packets);
+  put_varint(out, r.data_segments);
+  put_varint(out, r.retrans_segments);
+  put_varint(out, r.timeout_retrans);
+  put_varint(out, r.fast_retrans);
+  put_varint(out, r.spurious_retrans);
+  put_varint(out, r.init_rwnd_bytes);
+  put_bool(out, r.had_zero_rwnd);
+  put_bool(out, r.degraded);
+  put_varint(out, r.suspect_stalls);
+  put_double(out, r.avg_rtt_us);
+  put_double(out, r.avg_rto_us);
+  put_varint(out, r.stalls.size());
+  for (const StallEntry& s : r.stalls) {
+    put_varint(out, s.cause);
+    put_varint(out, s.retrans_cause);
+    put_zigzag(out, s.duration_us);
+  }
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked reader over one frame's payload. Every accessor sets
+/// `failed` instead of reading past the end, so arbitrary corrupt input
+/// can never index out of range.
+struct Cursor {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool failed = false;
+  const char* what = "";
+
+  void fail(const char* msg) {
+    failed = true;
+    if (what[0] == '\0') what = msg;
+  }
+
+  std::uint64_t get_varint(const char* field) {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (pos >= data.size()) {
+        fail(field);
+        return 0;
+      }
+      const std::uint8_t byte = data[pos++];
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        // Reject non-canonical 10th bytes that would overflow 64 bits.
+        if (shift == 63 && byte > 1) {
+          fail(field);
+          return 0;
+        }
+        return v;
+      }
+    }
+    fail(field);  // > 10 continuation bytes
+    return 0;
+  }
+
+  std::int64_t get_zigzag(const char* field) {
+    const std::uint64_t u = get_varint(field);
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  double get_double(const char* field) {
+    if (data.size() - pos < 8) {
+      pos = data.size();
+      fail(field);
+      return 0.0;
+    }
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+    }
+    return std::bit_cast<double>(bits);
+  }
+
+  bool get_bool(const char* field) {
+    const std::uint64_t v = get_varint(field);
+    if (v > 1) fail(field);
+    return v == 1;
+  }
+
+  template <typename T>
+  T get_bounded(const char* field, std::uint64_t max) {
+    const std::uint64_t v = get_varint(field);
+    if (v > max) fail(field);
+    return static_cast<T>(v);
+  }
+};
+
+bool decode_payload(std::span<const std::uint8_t> payload, FlowRecord& r,
+                    const char** what) {
+  Cursor c{payload};
+  r.shard_id = c.get_bounded<std::uint32_t>("shard_id", 0xFFFFFFFFu);
+  r.service = c.get_bounded<std::uint8_t>("service", 0xFFu);
+  r.flow_index = c.get_varint("flow_index");
+  r.start_us = c.get_zigzag("start_us");
+  r.transmission_us = c.get_zigzag("transmission_us");
+  r.stalled_us = c.get_zigzag("stalled_us");
+  r.completed = c.get_bool("completed");
+  r.response_bytes = c.get_varint("response_bytes");
+  r.unique_bytes = c.get_varint("unique_bytes");
+  r.packets = c.get_varint("packets");
+  r.data_segments = c.get_varint("data_segments");
+  r.retrans_segments = c.get_varint("retrans_segments");
+  r.timeout_retrans = c.get_varint("timeout_retrans");
+  r.fast_retrans = c.get_varint("fast_retrans");
+  r.spurious_retrans = c.get_varint("spurious_retrans");
+  r.init_rwnd_bytes = c.get_bounded<std::uint32_t>("init_rwnd", 0xFFFFFFFFu);
+  r.had_zero_rwnd = c.get_bool("had_zero_rwnd");
+  r.degraded = c.get_bool("degraded");
+  r.suspect_stalls = c.get_varint("suspect_stalls");
+  r.avg_rtt_us = c.get_double("avg_rtt_us");
+  r.avg_rto_us = c.get_double("avg_rto_us");
+  const std::uint64_t n_stalls = c.get_varint("stall_count");
+  // Each stall costs at least 3 payload bytes; a count beyond that is a
+  // corrupt length and must not drive a large reserve.
+  if (!c.failed && n_stalls > (payload.size() - c.pos + 2) / 3) {
+    c.fail("stall_count");
+  }
+  if (!c.failed) {
+    r.stalls.reserve(static_cast<std::size_t>(n_stalls));
+    for (std::uint64_t i = 0; i < n_stalls && !c.failed; ++i) {
+      StallEntry s;
+      // 7 top-level causes (0..6); retrans cause 7 is the kNone sentinel.
+      s.cause = c.get_bounded<std::uint8_t>("stall.cause", 6);
+      s.retrans_cause = c.get_bounded<std::uint8_t>("stall.retrans_cause", 7);
+      s.duration_us = c.get_zigzag("stall.duration_us");
+      r.stalls.push_back(s);
+    }
+  }
+  // Trailing bytes are allowed (a newer writer may have appended fields);
+  // running *out* of bytes mid-field is what Cursor::fail catches.
+  *what = c.what;
+  return !c.failed;
+}
+
+std::uint32_t read_u32le(std::span<const std::uint8_t> data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ CRC
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- writer
+
+void append_file_header(std::vector<std::uint8_t>& out) {
+  out.insert(out.end(), kRecordMagic.begin(), kRecordMagic.end());
+  out.push_back(static_cast<std::uint8_t>(kRecordVersion & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(kRecordVersion >> 8));
+  out.push_back(0);  // flags, reserved
+  out.push_back(0);
+}
+
+void append_record(std::vector<std::uint8_t>& out, const FlowRecord& r) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(96);
+  encode_payload(payload, r);
+  put_varint(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32le(out, crc32(payload));
+}
+
+void RecordWriter::write(const FlowRecord& r) {
+  scratch_.clear();
+  if (!header_done_) {
+    append_file_header(scratch_);
+    header_done_ = true;
+  }
+  append_record(scratch_, r);
+  os_.write(reinterpret_cast<const char*>(scratch_.data()),
+            static_cast<std::streamsize>(scratch_.size()));
+  bytes_ += scratch_.size();
+  ++records_;
+}
+
+// ---------------------------------------------------------------- reader
+
+const char* to_string(RecordErrorKind k) {
+  switch (k) {
+    case RecordErrorKind::kTruncatedHeader: return "truncated header";
+    case RecordErrorKind::kBadMagic: return "bad magic";
+    case RecordErrorKind::kBadVersion: return "unsupported version";
+    case RecordErrorKind::kTruncatedFrame: return "truncated frame";
+    case RecordErrorKind::kOversizedRecord: return "oversized record";
+    case RecordErrorKind::kCrcMismatch: return "crc mismatch";
+    case RecordErrorKind::kMalformedPayload: return "malformed payload";
+    case RecordErrorKind::kIoError: return "io error";
+  }
+  return "?";
+}
+
+ReadResult read_records(std::span<const std::uint8_t> data) {
+  ReadResult out;
+  const auto fail = [&](RecordErrorKind kind, std::uint64_t offset,
+                        std::string detail) {
+    out.error = RecordError{kind, offset, std::move(detail)};
+    return out;
+  };
+
+  if (data.empty()) return out;  // an empty file holds zero records
+  if (data.size() < kFileHeaderBytes) {
+    return fail(RecordErrorKind::kTruncatedHeader, 0,
+                "file shorter than the 8-byte header");
+  }
+  for (std::size_t i = 0; i < kRecordMagic.size(); ++i) {
+    if (data[i] != kRecordMagic[i]) {
+      return fail(RecordErrorKind::kBadMagic, i, "magic is not TFLR");
+    }
+  }
+  const std::uint16_t version = static_cast<std::uint16_t>(
+      data[4] | (static_cast<std::uint16_t>(data[5]) << 8));
+  if (version != kRecordVersion) {
+    return fail(RecordErrorKind::kBadVersion, 4,
+                "version " + std::to_string(version) + ", expected " +
+                    std::to_string(kRecordVersion));
+  }
+
+  std::size_t pos = kFileHeaderBytes;
+  while (pos < data.size()) {
+    const std::size_t frame_start = pos;
+    // Frame length varint (bounded to fit kMaxRecordPayload).
+    std::uint64_t len = 0;
+    bool len_done = false;
+    for (unsigned shift = 0; shift < 64 && pos < data.size(); shift += 7) {
+      const std::uint8_t byte = data[pos++];
+      len |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        len_done = true;
+        break;
+      }
+      if (len > kMaxRecordPayload) break;  // already too big; stop early
+    }
+    if (!len_done && pos >= data.size()) {
+      out.bytes_consumed = frame_start;
+      return fail(RecordErrorKind::kTruncatedFrame, frame_start,
+                  "frame length cut off at end of data");
+    }
+    if (!len_done || len > kMaxRecordPayload) {
+      out.bytes_consumed = frame_start;
+      return fail(RecordErrorKind::kOversizedRecord, frame_start,
+                  "payload length " + std::to_string(len) + " exceeds cap " +
+                      std::to_string(kMaxRecordPayload));
+    }
+    if (data.size() - pos < len + 4) {
+      out.bytes_consumed = frame_start;
+      return fail(RecordErrorKind::kTruncatedFrame, frame_start,
+                  "payload + CRC run past end of data");
+    }
+    const auto payload = data.subspan(pos, static_cast<std::size_t>(len));
+    const std::uint32_t stored =
+        read_u32le(data, pos + static_cast<std::size_t>(len));
+    if (crc32(payload) != stored) {
+      out.bytes_consumed = frame_start;
+      return fail(RecordErrorKind::kCrcMismatch, frame_start,
+                  "payload fails its CRC");
+    }
+    FlowRecord r;
+    const char* what = "";
+    if (!decode_payload(payload, r, &what)) {
+      out.bytes_consumed = frame_start;
+      return fail(RecordErrorKind::kMalformedPayload, frame_start,
+                  std::string("field ") + what);
+    }
+    out.records.push_back(std::move(r));
+    pos += static_cast<std::size_t>(len) + 4;
+    out.bytes_consumed = pos;
+  }
+  out.bytes_consumed = data.size();
+  return out;
+}
+
+ReadResult read_record_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    ReadResult out;
+    out.error = RecordError{RecordErrorKind::kIoError, 0,
+                            "cannot open " + path};
+    return out;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(is),
+                                  std::istreambuf_iterator<char>()};
+  return read_records(bytes);
+}
+
+}  // namespace tapo::fleet

@@ -1,0 +1,157 @@
+// Compact binary flow-record format: the fleet aggregation tier's wire
+// representation of one diagnosed flow (DESIGN.md §13 has the full spec).
+//
+// A record file is
+//
+//   file   := header frame*
+//   header := magic "TFLR" (4 bytes) | version u16 LE | flags u16 LE
+//   frame  := payload_len varint | payload | crc32(payload) u32 LE
+//
+// and each payload is a fixed field sequence encoded with LEB128 varints
+// (zigzag for signed fields, raw little-endian 64-bit for double bit
+// patterns), so a typical record is a few dozen bytes. Versioning and
+// robustness rules:
+//
+//  - The header version must match kRecordVersion exactly; readers reject
+//    unknown versions with a typed error rather than guessing.
+//  - Within a frame, *trailing* payload bytes beyond the known fields are
+//    ignored (a newer writer may append fields; the CRC still covers
+//    them), but a payload that ends mid-field is malformed.
+//  - Every frame is CRC-framed. Readers must tolerate arbitrary
+//    truncation and corruption: they return the longest valid prefix of
+//    records plus a typed RecordError carrying the byte offset of the
+//    failure — error, never crash, never undefined behaviour (property-
+//    tested under ASan/UBSan in tests/fleet_record_test.cc).
+//
+// This is the one sanctioned serializer for fleet data: the raw-struct-io
+// lint rule keeps fwrite/memcpy-of-struct images out of the rest of the
+// tree so no unversioned struct image ever hits a file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tapo::fleet {
+
+inline constexpr std::array<std::uint8_t, 4> kRecordMagic = {'T', 'F', 'L',
+                                                             'R'};
+inline constexpr std::uint16_t kRecordVersion = 1;
+inline constexpr std::size_t kFileHeaderBytes = 8;
+/// Upper bound on one record's payload; larger length prefixes are
+/// rejected up front so a corrupt length cannot drive a huge allocation.
+inline constexpr std::size_t kMaxRecordPayload = 1u << 20;
+
+/// One stall inside a flow, reduced to what fleet aggregation needs.
+/// `cause` indexes analysis::StallCause, `retrans_cause` indexes
+/// analysis::RetransCause (7 = kNone); readers bounds-check both.
+struct StallEntry {
+  std::uint8_t cause = 6;          // StallCause::kUndetermined
+  std::uint8_t retrans_cause = 7;  // RetransCause::kNone
+  std::int64_t duration_us = 0;
+
+  bool operator==(const StallEntry&) const = default;
+};
+
+/// The per-flow state a server shard ships to the aggregation point:
+/// everything the rolling-window monitor needs, nothing per-packet.
+struct FlowRecord {
+  std::uint32_t shard_id = 0;
+  std::uint8_t service = 0;  // workload::Service index (fleet::service_name)
+  std::uint64_t flow_index = 0;
+  /// Logical capture timestamp of the flow's start (stamped by the
+  /// RecordSink); the window aggregator buckets on this.
+  std::int64_t start_us = 0;
+  std::int64_t transmission_us = 0;
+  std::int64_t stalled_us = 0;
+  bool completed = false;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t data_segments = 0;
+  std::uint64_t retrans_segments = 0;
+  std::uint64_t timeout_retrans = 0;
+  std::uint64_t fast_retrans = 0;
+  std::uint64_t spurious_retrans = 0;
+  std::uint32_t init_rwnd_bytes = 0;
+  bool had_zero_rwnd = false;
+  /// Capture-quality summary (analysis::CaptureQuality::degraded()).
+  bool degraded = false;
+  std::uint64_t suspect_stalls = 0;
+  double avg_rtt_us = 0.0;
+  double avg_rto_us = 0.0;
+  std::vector<StallEntry> stalls;
+
+  bool operator==(const FlowRecord&) const = default;
+};
+
+/// CRC-32 (IEEE 802.3, reflected). Exposed so tests can frame records by
+/// hand and corrupt them surgically.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Appends the 8-byte file header to `out`.
+void append_file_header(std::vector<std::uint8_t>& out);
+
+/// Appends one CRC-framed record to `out`.
+void append_record(std::vector<std::uint8_t>& out, const FlowRecord& r);
+
+/// Streaming writer: emits the file header lazily before the first record
+/// so an empty writer leaves an empty stream.
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::ostream& os) : os_(os) {}
+
+  void write(const FlowRecord& r);
+  void flush() { os_.flush(); }
+
+  std::uint64_t records() const { return records_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool header_done_ = false;
+  std::vector<std::uint8_t> scratch_;
+};
+
+enum class RecordErrorKind : std::uint8_t {
+  kTruncatedHeader,   // file shorter than the 8-byte header
+  kBadMagic,          // header magic is not "TFLR"
+  kBadVersion,        // header version != kRecordVersion
+  kTruncatedFrame,    // frame length/payload/CRC runs past end of data
+  kOversizedRecord,   // length prefix exceeds kMaxRecordPayload
+  kCrcMismatch,       // stored CRC does not match the payload
+  kMalformedPayload,  // CRC-valid payload that ends mid-field or holds an
+                      // out-of-range enum/bool value
+  kIoError,           // file could not be opened/read
+};
+const char* to_string(RecordErrorKind k);
+
+/// A typed read failure: what went wrong and the byte offset (of the
+/// offending frame's first byte, or of the header) where it went wrong.
+struct RecordError {
+  RecordErrorKind kind = RecordErrorKind::kIoError;
+  std::uint64_t offset = 0;
+  std::string detail;
+};
+
+/// Longest-valid-prefix read result. `records` holds every frame that
+/// decoded and CRC-checked cleanly before the first failure; `error` is
+/// set when the data did not end exactly on a frame boundary.
+struct ReadResult {
+  std::vector<FlowRecord> records;
+  std::optional<RecordError> error;
+  std::uint64_t bytes_consumed = 0;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+ReadResult read_records(std::span<const std::uint8_t> data);
+ReadResult read_record_file(const std::string& path);
+
+}  // namespace tapo::fleet

@@ -1,0 +1,58 @@
+#include "stats/sketch.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tapo::stats {
+
+QuantileSketch::QuantileSketch(double relative_accuracy)
+    : alpha_(relative_accuracy),
+      gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
+      inv_log_gamma_(1.0 / std::log(gamma_)) {
+  if (!(relative_accuracy > 0.0) || !(relative_accuracy < 1.0)) {
+    throw std::invalid_argument(
+        "QuantileSketch: relative accuracy must be in (0, 1)");
+  }
+}
+
+void QuantileSketch::observe(double v) {
+  ++total_;
+  if (!(v >= kMinTracked)) {  // negatives, zeros, and NaN all land here
+    ++zero_count_;
+    return;
+  }
+  const double idx = std::ceil(std::log(v) * inv_log_gamma_);
+  ++buckets_[static_cast<std::int32_t>(idx)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (alpha_ != other.alpha_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: mismatched relative accuracy");
+  }
+  total_ += other.total_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [idx, n] : other.buckets_) buckets_[idx] += n;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target the order statistic at index floor(rank): walk cumulative
+  // counts in ascending bucket order until the target index is covered.
+  const double rank = q * static_cast<double>(total_ - 1);
+  std::uint64_t cum = zero_count_;
+  if (static_cast<double>(cum) > rank) return 0.0;
+  for (const auto& [idx, n] : buckets_) {
+    cum += n;
+    if (static_cast<double>(cum) > rank) {
+      return 2.0 * std::pow(gamma_, idx) / (gamma_ + 1.0);
+    }
+  }
+  // Floating-point slack at q == 1: return the top bucket's estimate.
+  if (buckets_.empty()) return 0.0;
+  return 2.0 * std::pow(gamma_, buckets_.rbegin()->first) / (gamma_ + 1.0);
+}
+
+}  // namespace tapo::stats

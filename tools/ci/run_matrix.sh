@@ -18,6 +18,10 @@
 #            capture-channel/degradation suites plus the differential
 #            stability harness (bench/robustness_stability.cc), so fault
 #            injection runs under ASan without repeating the full sweep
+#   fleet    -fsanitize=address, `fleet`-labeled tests only: the fleet
+#            record/sketch/window suites (corruption property tests under
+#            ASan), the fleet_scale merge-determinism harness, and the
+#            tapo_agg emit -> merge -> prometheus-validate smoke chain
 #
 
 # Each configuration gets its own build tree under build-ci/ so sanitizer
@@ -29,7 +33,7 @@ cd "$(dirname "$0")/../.."
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(lint default asan ubsan tsan robustness)
+  CONFIGS=(lint default asan ubsan tsan robustness fleet)
 fi
 
 build_and_test() {
@@ -65,6 +69,7 @@ for cfg in "${CONFIGS[@]}"; do
     ubsan)   build_and_test ubsan undefined ;;
     tsan)    build_and_test tsan thread ;;
     robustness) build_and_test robustness address robustness ;;
+    fleet)   build_and_test fleet address fleet ;;
     *)
       echo "unknown configuration: ${cfg}" >&2
       exit 2

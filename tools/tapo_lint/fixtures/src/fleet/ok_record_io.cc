@@ -1,0 +1,17 @@
+// src/fleet/ is a sanctioned home of binary struct I/O (the versioned,
+// CRC-framed record codec): the raw-struct-io rule must stay silent here.
+#include <cstdio>
+#include <cstring>
+
+struct WireHeader {
+  unsigned char magic[4];
+  unsigned short version;
+};
+
+void sanctioned_write(std::FILE* fp, const WireHeader& h) {
+  std::fwrite(&h, sizeof(h), 1, fp);
+}
+
+void sanctioned_copy(unsigned char* buf, const WireHeader& h) {
+  std::memcpy(buf, &h, sizeof(h));
+}

@@ -1,0 +1,37 @@
+// raw-struct-io fixtures: raw struct images written to files or copied
+// into byte buffers outside the sanctioned serializer directories.
+#include <cstdio>
+#include <cstring>
+
+struct Sample {
+  int a;
+  double b;
+};
+
+void bad_fwrite(std::FILE* fp, const Sample& s) {
+  std::fwrite(&s, sizeof(s), 1, fp);  // expect-lint: raw-struct-io
+}
+
+void bad_fread(std::FILE* fp, Sample& s) {
+  std::fread(&s, sizeof(s), 1, fp);  // expect-lint: raw-struct-io
+}
+
+void bad_fwrite_unqualified(std::FILE* fp, const Sample& s) {
+  fwrite(&s, sizeof(Sample), 1, fp);  // expect-lint: raw-struct-io
+}
+
+void bad_memcpy_image(unsigned char* buf, const Sample& s) {
+  std::memcpy(buf, &s, sizeof(s));  // expect-lint: raw-struct-io
+}
+
+void ok_memcpy_bytes(unsigned char* dst, const unsigned char* src,
+                     unsigned long n) {
+  // A byte-count copy is not a struct image; no finding.
+  std::memcpy(dst, src, n);
+}
+
+void ok_suppressed(std::FILE* fp, const Sample& s) {
+  // legacy import path, format documented elsewhere:
+  // tapo-lint: allow(raw-struct-io)
+  std::fwrite(&s, sizeof(s), 1, fp);
+}

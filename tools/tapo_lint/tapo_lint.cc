@@ -43,6 +43,13 @@
 //                      initializers and a class mutating its own `config_`
 //                      member through its sanctioned setters are all exempt
 //                      by construction.
+//   raw-struct-io      fwrite()/fread() calls, or memcpy() with a sizeof
+//                      operand (a struct image copied to/from a byte
+//                      buffer), outside src/net/ and src/fleet/. Raw struct
+//                      images are unversioned, unchecksummed and padding/
+//                      endianness-dependent; persistent or wire data must
+//                      go through the fleet record codec (versioned +
+//                      CRC-framed) or the net/ packet codecs.
 //
 // Suppressions: a comment containing `tapo-lint: allow(<rule>)` disables
 // that rule on the same line and on the line directly below (so a
@@ -560,6 +567,39 @@ void rule_config_mutation(const FileText& f, std::vector<Finding>& out) {
   }
 }
 
+void rule_raw_struct_io(const FileText& f, std::vector<Finding>& out) {
+  // src/net/ (the packet wire codecs) and src/fleet/ (the versioned,
+  // CRC-framed record serializer) are the sanctioned homes of binary
+  // struct I/O; anywhere else a raw struct image on disk or in a buffer is
+  // an unversioned format waiting to corrupt silently.
+  if (path_contains(f.path, "src/net/") ||
+      path_contains(f.path, "src/fleet/")) {
+    return;
+  }
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    bool hit = false;
+    for (const char* call : {"fwrite", "fread"}) {
+      if (word_then_paren(line, call)) {
+        out.push_back({f.path, n + 1, "raw-struct-io",
+                       std::string(call) +
+                           "() of a raw struct image is unversioned and "
+                           "unchecksummed; serialize through the fleet "
+                           "record codec (src/fleet/record.h) instead"});
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && word_then_paren(line, "memcpy") &&
+        line.find("sizeof") != std::string::npos) {
+      out.push_back({f.path, n + 1, "raw-struct-io",
+                     "memcpy() of sizeof(...) bytes copies a struct image "
+                     "with padding and native endianness; encode fields "
+                     "explicitly (src/fleet/record.h, src/net/) instead"});
+    }
+  }
+}
+
 /// Rules suppressed on line `n` (0-based) via `tapo-lint: allow(<rule>)` on
 /// the same line or the line directly above.
 std::set<std::string> suppressions_for_line(const FileText& f, std::size_t n) {
@@ -596,6 +636,7 @@ std::vector<Finding> lint_file(const std::string& path) {
   rule_pragma_once(f, found);
   rule_naked_parse(f, found);
   rule_config_mutation(f, found);
+  rule_raw_struct_io(f, found);
 
   std::vector<Finding> kept;
   for (const auto& finding : found) {
