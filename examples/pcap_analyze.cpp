@@ -30,9 +30,15 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: pcap_analyze <capture.pcap> [--server-port N] [--tau X] "
-      "[--summary] [--csv PREFIX] [--live]\n"
+      "[--summary] [--csv PREFIX] [--live] [--mem-budget BYTES]\n"
       "       pcap_analyze --demo [out.pcap]   generate & analyze a demo "
-      "capture\n");
+      "capture\n"
+      "\n"
+      "  --mem-budget BYTES  cap pipeline residency (chunks in flight +\n"
+      "                      buffered flow state); 0 = unlimited. Also read\n"
+      "                      from TAPO_MEM_BUDGET; the flag wins. Budgeted\n"
+      "                      runs use --live's engine and evict the least\n"
+      "                      recently active flows instead of growing.\n");
 }
 
 std::string make_demo(const std::string& path) {
@@ -69,6 +75,7 @@ int main(int argc, char** argv) {
   analysis::DemuxOptions demux;
   bool summary_only = false;
   bool live_mode = false;
+  std::size_t mem_budget = util::env_size("TAPO_MEM_BUDGET", 0);
   std::string csv_prefix;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +104,15 @@ int main(int argc, char** argv) {
       csv_prefix = argv[++i];
     } else if (arg == "--live") {
       live_mode = true;
+    } else if (arg == "--mem-budget" && i + 1 < argc) {
+      const auto bytes = tapo::util::parse_u64(argv[++i]);
+      if (!bytes) {
+        std::fprintf(stderr,
+                     "error: --mem-budget must be a byte count (0 = "
+                     "unlimited)\n");
+        return 1;
+      }
+      mem_budget = static_cast<std::size_t>(*bytes);
     } else if (arg[0] != '-') {
       path = arg;
     } else {
@@ -109,37 +125,55 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One ingest surface for every mode: the chunked streaming reader. A
+  // budgeted or --live run hands each sealed chunk straight to the live
+  // analyzer and drops it (bounded residency, files larger than RAM are
+  // fine); the plain batch run retains the chunks and analyzes them with
+  // the same engine — bit-identical output either way.
+  util::MemoryBudget budget(mem_budget);
+  if (mem_budget != 0) live_mode = true;
+  analysis::AnalysisResult result;
   pcap::ReadStats rstats;
-  net::PacketTrace trace;
   try {
-    trace = pcap::read_file(path, &rstats);
+    pcap::StreamingReader reader(path, pcap::StreamingOptions{
+                                           .budget = &budget});
+    if (live_mode) {
+      const auto live_cfg = analysis::LiveConfig{}
+                                .with_analyzer(config)
+                                .with_demux(demux)
+                                .with_mem_budget(&budget);
+      analysis::LiveAnalyzer live(
+          live_cfg,
+          [&](const analysis::FlowAnalysis& fa) { result.flows.push_back(fa); });
+      while (auto chunk = reader.next_chunk()) live.add_chunk(*chunk);
+      rstats = reader.stats();
+      std::printf("%s: %zu records, %zu TCP packets (%zu skipped)\n",
+                  path.c_str(), rstats.records, rstats.tcp_packets,
+                  rstats.skipped);
+      live.flush();
+      std::printf("%zu flows finalized (live mode; %llu packets, peak table "
+                  "%zu flows, peak resident %zu bytes%s)\n\n",
+                  result.flows.size(),
+                  static_cast<unsigned long long>(live.stats().packets),
+                  live.stats().active_flows, budget.high_water(),
+                  mem_budget != 0 ? ", budgeted" : "");
+    } else {
+      net::ChunkedTrace chunks(net::ChunkedTrace::kDefaultChunkPackets,
+                               nullptr, &budget);
+      while (auto chunk = reader.next_chunk()) {
+        for (const auto& pkt : chunk->packets()) chunks.add(pkt);
+      }
+      rstats = reader.stats();
+      std::printf("%s: %zu records, %zu TCP packets (%zu skipped)\n",
+                  path.c_str(), rstats.records, rstats.tcp_packets,
+                  rstats.skipped);
+      analysis::Analyzer analyzer(config);
+      result = analyzer.analyze(chunks, demux);
+      std::printf("%zu flows reconstructed\n\n", result.flows.size());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
-  }
-  std::printf("%s: %zu records, %zu TCP packets (%zu skipped)\n", path.c_str(),
-              rstats.records, rstats.tcp_packets, rstats.skipped);
-
-  analysis::AnalysisResult result;
-  if (live_mode) {
-    // Streaming mode: feed packets one at a time through the bounded-memory
-    // live analyzer (what a capture-socket deployment would do).
-    const auto live_cfg =
-        analysis::LiveConfig{}.with_analyzer(config).with_demux(demux);
-    analysis::LiveAnalyzer live(live_cfg, [&](const analysis::FlowAnalysis& fa) {
-      result.flows.push_back(fa);
-    });
-    for (const auto& pkt : trace.packets()) live.add_packet(pkt);
-    live.flush();
-    std::printf("%zu flows finalized (live mode; %llu packets, peak table "
-                "%zu flows)\n\n",
-                result.flows.size(),
-                static_cast<unsigned long long>(live.stats().packets),
-                live.stats().active_flows);
-  } else {
-    analysis::Analyzer analyzer(config);
-    result = analyzer.analyze(trace, demux);
-    std::printf("%zu flows reconstructed\n\n", result.flows.size());
   }
 
   if (!csv_prefix.empty()) {

@@ -1,6 +1,8 @@
 #include "fleet/record.h"
 
+#include <algorithm>
 #include <bit>
+#include <filesystem>
 #include <fstream>
 
 namespace tapo::fleet {
@@ -359,6 +361,37 @@ ReadResult read_record_file(const std::string& path) {
   std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(is),
                                   std::istreambuf_iterator<char>()};
   return read_records(bytes);
+}
+
+ListResult collect_record_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  ListResult out;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    out.error = "cannot list " + dir + ": " + ec.message();
+    return out;
+  }
+  for (const fs::directory_iterator end; it != end;) {
+    const fs::directory_entry entry = *it;
+    if (entry.path().extension() == ".tflr") {
+      std::error_code type_ec;
+      if (entry.is_regular_file(type_ec) && !type_ec) {
+        out.files.push_back(entry.path().string());
+      }
+    }
+    // The non-throwing increment: the range-for surface only reports
+    // *construction* failures through its error_code and throws on any
+    // failure mid-walk, which a CLI must not die on.
+    it.increment(ec);
+    if (ec) {
+      out.error = "error while listing " + dir + ": " + ec.message();
+      out.files.clear();
+      return out;
+    }
+  }
+  std::sort(out.files.begin(), out.files.end());
+  return out;
 }
 
 }  // namespace tapo::fleet

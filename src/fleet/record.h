@@ -154,4 +154,22 @@ struct ReadResult {
 ReadResult read_records(std::span<const std::uint8_t> data);
 ReadResult read_record_file(const std::string& path);
 
+/// Result of listing a record directory: the `.tflr` paths, or why the
+/// listing failed. Failure yields no files at all — a partial list would
+/// silently merge a partial fleet.
+struct ListResult {
+  std::vector<std::string> files;
+  std::string error;  // empty on success
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Deterministic ingest listing: every regular `.tflr` file directly under
+/// `dir`, sorted by path. Directory iteration order is filesystem-
+/// dependent, so the sort is what makes a merge over the same file set
+/// byte-identical across hosts and runs. Errors — including errors raised
+/// *mid-iteration*, which the throwing directory_iterator surface hides
+/// behind an exception — come back in ListResult::error.
+ListResult collect_record_files(const std::string& dir);
+
 }  // namespace tapo::fleet

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "net/chunk.h"
 #include "net/ipv4.h"
 #include "util/strings.h"
 
@@ -60,6 +61,27 @@ void PacketTrace::sort_by_time() {
                    [](const CapturedPacket& a, const CapturedPacket& b) {
                      return a.timestamp < b.timestamp;
                    });
+}
+
+CapturedPacket& TraceBuilder::begin_packet() {
+  return trace_ != nullptr ? trace_->append() : chunks_->append();
+}
+
+void TraceBuilder::rollback_last() {
+  if (trace_ != nullptr) {
+    trace_->pop_back();
+  } else {
+    chunks_->pop_back();
+  }
+}
+
+void TraceBuilder::reserve(std::size_t n) {
+  if (trace_ != nullptr) trace_->reserve(n);
+}
+
+std::size_t TraceBuilder::size() const {
+  if (trace_ != nullptr) return trace_->size();
+  return chunks_ != nullptr ? chunks_->size() : 0;
 }
 
 PacketTrace PacketTrace::clone() const {

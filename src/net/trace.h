@@ -121,23 +121,38 @@ class PacketTrace {
   std::size_t cap_ = 0;
 };
 
-/// Append-only writer facade over a PacketTrace arena. Producers (the
+class ChunkedTrace;
+
+/// Append-only writer facade over a packet arena. Producers (the
 /// simulator's server-NIC capture point, the pcap readers) obtain a slot
 /// with begin_packet(), fill it in place, and either keep it or roll it
 /// back when the frame turns out not to be a TCP packet — no intermediate
 /// CapturedPacket is ever materialized outside the arena.
+///
+/// Two backends share the facade: a growing PacketTrace (batch) or a
+/// ChunkedTrace (streaming — sealed chunks leave as the producer writes,
+/// so residency stays bounded). A default-constructed builder is detached:
+/// attached() is false and begin_packet() must not be called, which lets
+/// capture points carry one builder member for both captured and
+/// capture-off runs.
 class TraceBuilder {
  public:
+  TraceBuilder() = default;
   explicit TraceBuilder(PacketTrace& trace) : trace_(&trace) {}
+  explicit TraceBuilder(ChunkedTrace& chunks) : chunks_(&chunks) {}
 
-  CapturedPacket& begin_packet() { return trace_->append(); }
+  bool attached() const { return trace_ != nullptr || chunks_ != nullptr; }
+
+  CapturedPacket& begin_packet();
   /// Discards the slot handed out by the last begin_packet().
-  void rollback_last() { trace_->pop_back(); }
-  void reserve(std::size_t n) { trace_->reserve(n); }
-  std::size_t size() const { return trace_->size(); }
+  void rollback_last();
+  /// Capacity hint; the chunked backend sizes itself and ignores it.
+  void reserve(std::size_t n);
+  std::size_t size() const;
 
  private:
-  PacketTrace* trace_;
+  PacketTrace* trace_ = nullptr;
+  ChunkedTrace* chunks_ = nullptr;
 };
 
 }  // namespace tapo::net

@@ -1,15 +1,19 @@
 #include "pcap/pcap.h"
 
+#include <algorithm>
 #include <array>
+#include <deque>
 #include <fstream>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "net/checksum.h"
 #include "net/endian.h"
 #include "net/ipv4.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace tapo::pcap {
 namespace {
@@ -42,17 +46,36 @@ class ByteReader {
   bool read(std::span<std::uint8_t> buf) {
     in_.read(reinterpret_cast<char*>(buf.data()),
              static_cast<std::streamsize>(buf.size()));
+    offset_ += static_cast<std::size_t>(in_.gcount());
     return in_.gcount() == static_cast<std::streamsize>(buf.size());
   }
 
   bool skip(std::size_t n) {
     in_.seekg(static_cast<std::streamoff>(n), std::ios::cur);
-    return static_cast<bool>(in_);
+    if (!in_) return false;
+    offset_ += n;
+    return true;
   }
+
+  /// Absolute position in the input: bytes consumed so far. Carried into
+  /// every parse-error message so a malformed record can be found with a
+  /// hex editor.
+  std::size_t offset() const { return offset_; }
 
  private:
   std::istream& in_;
+  std::size_t offset_ = 0;
 };
+
+/// Builds "pcap: <what> (record N, offset X)" — every reader throw site
+/// funnels through here so errors always locate the bad record.
+[[noreturn]] void fail_at(const char* what, const char* unit,
+                          std::size_t index, std::size_t offset) {
+  throw std::runtime_error(
+      str_format("%s (%s %llu, offset %llu)", what, unit,
+                 static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(offset)));
+}
 
 std::uint32_t load32(std::span<const std::uint8_t> b, std::size_t off,
                      bool swap) {
@@ -193,55 +216,82 @@ bool parse_frame(std::span<const std::uint8_t> p, std::uint32_t linktype,
   return true;
 }
 
-net::PacketTrace read_classic(ByteReader& reader,
-                              std::span<const std::uint8_t> magic_bytes,
-                              ReadStats& st) {
-  std::array<std::uint8_t, 24> gh{};
-  std::copy(magic_bytes.begin(), magic_bytes.end(), gh.begin());
-  if (!reader.read(std::span(gh).subspan(4))) {
-    throw std::runtime_error("pcap: truncated header");
+/// Resumable frame parser: each next() call advances the input until one
+/// TCP packet has been appended through the builder (true) or the input
+/// ends (false). Holding parse state in the object — instead of locals of
+/// a one-shot read loop — is what lets the StreamingReader pull a chunk,
+/// hand it off, and come back for more.
+class FrameParser {
+ public:
+  virtual ~FrameParser() = default;
+  /// Throws std::runtime_error with record/offset context on malformed
+  /// input. The same ReadStats must be passed on every call.
+  virtual bool next(net::TraceBuilder& builder, ReadStats& st) = 0;
+};
+
+class ClassicParser final : public FrameParser {
+ public:
+  /// `magic_bytes` are the 4 already-consumed magic bytes; the remaining
+  /// 20 header bytes are read here.
+  ClassicParser(ByteReader& reader, std::span<const std::uint8_t> magic_bytes)
+      : reader_(reader) {
+    std::array<std::uint8_t, 24> gh{};
+    std::copy(magic_bytes.begin(), magic_bytes.end(), gh.begin());
+    if (!reader_.read(std::span(gh).subspan(4))) {
+      throw std::runtime_error("pcap: truncated header");
+    }
+
+    const std::uint32_t raw_magic = load32(gh, 0, /*swap=*/false);
+    if (raw_magic == kMagicUsec) {
+    } else if (raw_magic == __builtin_bswap32(kMagicUsec)) {
+      swap_ = true;
+    } else if (raw_magic == kMagicNsec) {
+      nsec_ = true;
+    } else {
+      swap_ = true;
+      nsec_ = true;
+    }
+    linktype_ = load32(gh, 20, swap_);
+    link_header_for(linktype_);  // validate up front
   }
 
-  const std::uint32_t raw_magic = load32(gh, 0, /*swap=*/false);
-  bool swap = false;
-  bool nsec = false;
-  if (raw_magic == kMagicUsec) {
-  } else if (raw_magic == __builtin_bswap32(kMagicUsec)) {
-    swap = true;
-  } else if (raw_magic == kMagicNsec) {
-    nsec = true;
-  } else {
-    swap = true;
-    nsec = true;
+  bool next(net::TraceBuilder& builder, ReadStats& st) override {
+    std::array<std::uint8_t, 16> rh;
+    while (true) {
+      const std::size_t record_start = reader_.offset();
+      if (!reader_.read(rh)) return false;
+      ++st.records;
+      const std::uint32_t ts_sec = load32(rh, 0, swap_);
+      const std::uint32_t ts_frac = load32(rh, 4, swap_);
+      const std::uint32_t caplen = load32(rh, 8, swap_);
+      if (caplen > 256 * 1024) {
+        fail_at(str_format("pcap: absurd caplen %u", caplen).c_str(),
+                "record", st.records, record_start);
+      }
+      if (caplen > body_.size()) body_.resize(caplen);
+      const std::span<std::uint8_t> frame(body_.data(), caplen);
+      if (!reader_.read(frame)) return false;  // truncated final record:
+                                               // keep everything before it
+      const std::int64_t frac_us =
+          nsec_ ? static_cast<std::int64_t>(ts_frac) / 1000
+                : static_cast<std::int64_t>(ts_frac);
+      if (parse_frame(frame, linktype_,
+                      static_cast<std::int64_t>(ts_sec) * 1'000'000 + frac_us,
+                      builder, st)) {
+        return true;
+      }
+    }
   }
-  const std::uint32_t linktype = load32(gh, 20, swap);
-  link_header_for(linktype);  // validate up front
 
-  net::PacketTrace trace;
-  net::TraceBuilder builder(trace);
-  std::array<std::uint8_t, 16> rh;
+ private:
+  ByteReader& reader_;
+  bool swap_ = false;
+  bool nsec_ = false;
+  std::uint32_t linktype_ = kLinkRaw;
   // Scratch frame buffer, grown once to the largest caplen seen and reused
   // for every record — no per-packet resize/allocation in the read loop.
-  std::vector<std::uint8_t> body;
-  while (reader.read(rh)) {
-    ++st.records;
-    const std::uint32_t ts_sec = load32(rh, 0, swap);
-    const std::uint32_t ts_frac = load32(rh, 4, swap);
-    const std::uint32_t caplen = load32(rh, 8, swap);
-    if (caplen > 256 * 1024) throw std::runtime_error("pcap: absurd caplen");
-    if (caplen > body.size()) body.resize(caplen);
-    const std::span<std::uint8_t> frame(body.data(), caplen);
-    if (!reader.read(frame)) break;  // truncated final record: keep the rest
-
-    const std::int64_t frac_us =
-        nsec ? static_cast<std::int64_t>(ts_frac) / 1000
-             : static_cast<std::int64_t>(ts_frac);
-    parse_frame(frame, linktype,
-                static_cast<std::int64_t>(ts_sec) * 1'000'000 + frac_us,
-                builder, st);
-  }
-  return trace;
-}
+  std::vector<std::uint8_t> body_;
+};
 
 constexpr std::uint32_t kNgShb = 0x0A0D0D0A;
 constexpr std::uint32_t kNgIdb = 0x00000001;
@@ -255,136 +305,171 @@ struct NgInterface {
   std::uint64_t ts_per_sec = 1'000'000;
 };
 
-net::PacketTrace read_pcapng(ByteReader& reader, ReadStats& st) {
-  net::PacketTrace trace;
-  net::TraceBuilder builder(trace);
-  std::vector<NgInterface> interfaces;
-  bool swap = false;
+class NgParser final : public FrameParser {
+ public:
+  /// Entered having consumed the 4-byte SHB type; the SHB itself is
+  /// processed on the first next() call.
+  explicit NgParser(ByteReader& reader) : reader_(reader) {}
 
-  // We enter having consumed the 4-byte SHB type; process the SHB first,
-  // then loop over blocks.
-  bool first_block = true;
-  std::uint32_t block_type = kNgShb;
-  // Grow-only scratch block buffer, reused across records.
-  std::vector<std::uint8_t> body;
-
-  while (true) {
-    if (!first_block) {
-      std::array<std::uint8_t, 4> tb;
-      if (!reader.read(tb)) break;
-      block_type = load32(tb, 0, /*swap=*/false);  // endianness fixed below
-    }
-
-    std::array<std::uint8_t, 4> lb;
-    if (!reader.read(lb)) {
-      if (first_block) throw std::runtime_error("pcapng: truncated SHB");
-      break;
-    }
-    std::uint32_t total_len;
-    // Every SHB (not just the first) starts a new section and may change
-    // the byte order, so its own byte-order magic — not the previous
-    // section's — decides how its length decodes. The SHB type value is a
-    // palindrome, so reading it with the old order is safe.
-    const bool is_shb =
-        first_block || block_type == kNgShb ||
-        __builtin_bswap32(block_type) == kNgShb;
-    if (is_shb) {
-      // Peek the byte-order magic to fix endianness for this section.
-      std::array<std::uint8_t, 4> bom;
-      std::uint32_t raw_len = load32(lb, 0, false);
-      if (!reader.read(bom)) throw std::runtime_error("pcapng: truncated SHB");
-      const std::uint32_t magic = load32(bom, 0, false);
-      if (magic == kNgByteOrderMagic) {
-        swap = false;
-      } else if (magic == __builtin_bswap32(kNgByteOrderMagic)) {
-        swap = true;
+  bool next(net::TraceBuilder& builder, ReadStats& st) override {
+    while (true) {
+      std::size_t block_start = reader_.offset();
+      std::uint32_t block_type = kNgShb;
+      if (!first_block_) {
+        std::array<std::uint8_t, 4> tb;
+        if (!reader_.read(tb)) return false;
+        block_type = load32(tb, 0, /*swap=*/false);  // endianness fixed below
       } else {
-        throw std::runtime_error("pcapng: bad byte-order magic");
+        block_start = reader_.offset() - 4;  // SHB type consumed up front
       }
-      total_len = swap ? __builtin_bswap32(raw_len) : raw_len;
-      if (total_len < 28 || total_len > 1 << 24) {
-        throw std::runtime_error("pcapng: absurd SHB length");
-      }
-      // Skip the rest of the SHB: total - (4 type + 4 len + 4 bom).
-      if (!reader.skip(total_len - 12)) break;
-      first_block = false;
-      interfaces.clear();  // interface ids are per-section
-      continue;
-    }
+      ++blocks_;
 
-    if (swap) block_type = __builtin_bswap32(block_type);
-    total_len = load32(lb, 0, swap);
-    if (total_len < 12 || total_len > 1 << 24) {
-      throw std::runtime_error("pcapng: absurd block length");
-    }
-    const std::uint32_t body_len = total_len - 12;  // minus type+2*len
-    if (body_len > body.size()) body.resize(body_len);
-    if (!reader.read(std::span(body.data(), body_len))) break;
-    std::array<std::uint8_t, 4> trailer;
-    if (!reader.read(trailer)) break;
-
-    if (block_type == kNgIdb) {
-      if (body_len < 8) continue;
-      NgInterface ifc;
-      ifc.linktype = load32(body, 0, swap) & 0xffff;
-      // Walk options for if_tsresol (code 9). Option code/length are
-      // 16-bit values in the section's byte order.
-      const auto load16 = [&](std::size_t o) {
-        std::uint16_t v =
-            static_cast<std::uint16_t>(body[o] | (body[o + 1] << 8));
-        return swap ? __builtin_bswap16(v) : v;
-      };
-      std::size_t off = 8;
-      while (off + 4 <= body_len) {
-        const std::uint16_t c = load16(off);
-        const std::uint16_t l = load16(off + 2);
-        if (c == 0) break;  // opt_endofopt
-        if (c == 9 && l >= 1 && off + 4 < body_len) {
-          const std::uint8_t v = body[off + 4];
-          if (v & 0x80) {
-            ifc.ts_per_sec = 1ull << (v & 0x7f);
-          } else {
-            ifc.ts_per_sec = 1;
-            for (int e = 0; e < (v & 0x7f) && e < 18; ++e) ifc.ts_per_sec *= 10;
-          }
+      std::array<std::uint8_t, 4> lb;
+      if (!reader_.read(lb)) {
+        if (first_block_) {
+          fail_at("pcapng: truncated SHB", "block", blocks_, block_start);
         }
-        off += 4 + ((l + 3u) & ~3u);
+        return false;
       }
-      interfaces.push_back(ifc);
-      continue;
-    }
+      std::uint32_t total_len;
+      // Every SHB (not just the first) starts a new section and may change
+      // the byte order, so its own byte-order magic — not the previous
+      // section's — decides how its length decodes. The SHB type value is a
+      // palindrome, so reading it with the old order is safe.
+      const bool is_shb = first_block_ || block_type == kNgShb ||
+                          __builtin_bswap32(block_type) == kNgShb;
+      if (is_shb) {
+        // Peek the byte-order magic to fix endianness for this section.
+        std::array<std::uint8_t, 4> bom;
+        std::uint32_t raw_len = load32(lb, 0, false);
+        if (!reader_.read(bom)) {
+          fail_at("pcapng: truncated SHB", "block", blocks_, block_start);
+        }
+        const std::uint32_t magic = load32(bom, 0, false);
+        if (magic == kNgByteOrderMagic) {
+          swap_ = false;
+        } else if (magic == __builtin_bswap32(kNgByteOrderMagic)) {
+          swap_ = true;
+        } else {
+          fail_at("pcapng: bad byte-order magic", "block", blocks_,
+                  block_start);
+        }
+        total_len = swap_ ? __builtin_bswap32(raw_len) : raw_len;
+        if (total_len < 28 || total_len > 1 << 24) {
+          fail_at(str_format("pcapng: absurd SHB length %u", total_len).c_str(),
+                  "block", blocks_, block_start);
+        }
+        // Skip the rest of the SHB: total - (4 type + 4 len + 4 bom).
+        if (!reader_.skip(total_len - 12)) return false;
+        first_block_ = false;
+        interfaces_.clear();  // interface ids are per-section
+        continue;
+      }
 
-    if (block_type == kNgEpb) {
-      if (body_len < 20) continue;
-      ++st.records;
-      const std::uint32_t if_id = load32(body, 0, swap);
-      const std::uint64_t ts =
-          (static_cast<std::uint64_t>(load32(body, 4, swap)) << 32) |
-          load32(body, 8, swap);
-      const std::uint32_t caplen = load32(body, 12, swap);
-      if (caplen > body_len - 20) {
+      if (swap_) block_type = __builtin_bswap32(block_type);
+      total_len = load32(lb, 0, swap_);
+      if (total_len < 12 || total_len > 1 << 24) {
+        fail_at(str_format("pcapng: absurd block length %u", total_len).c_str(),
+                "block", blocks_, block_start);
+      }
+      const std::uint32_t body_len = total_len - 12;  // minus type+2*len
+      if (body_len > body_.size()) body_.resize(body_len);
+      if (!reader_.read(std::span(body_.data(), body_len))) return false;
+      std::array<std::uint8_t, 4> trailer;
+      if (!reader_.read(trailer)) return false;
+
+      if (block_type == kNgIdb) {
+        if (body_len < 8) continue;
+        NgInterface ifc;
+        ifc.linktype = load32(body_, 0, swap_) & 0xffff;
+        // Walk options for if_tsresol (code 9). Option code/length are
+        // 16-bit values in the section's byte order.
+        const auto load16 = [&](std::size_t o) {
+          std::uint16_t v =
+              static_cast<std::uint16_t>(body_[o] | (body_[o + 1] << 8));
+          return swap_ ? __builtin_bswap16(v) : v;
+        };
+        std::size_t off = 8;
+        while (off + 4 <= body_len) {
+          const std::uint16_t c = load16(off);
+          const std::uint16_t l = load16(off + 2);
+          if (c == 0) break;  // opt_endofopt
+          if (c == 9 && l >= 1 && off + 4 < body_len) {
+            const std::uint8_t v = body_[off + 4];
+            if (v & 0x80) {
+              ifc.ts_per_sec = 1ull << (v & 0x7f);
+            } else {
+              ifc.ts_per_sec = 1;
+              for (int e = 0; e < (v & 0x7f) && e < 18; ++e) {
+                ifc.ts_per_sec *= 10;
+              }
+            }
+          }
+          off += 4 + ((l + 3u) & ~3u);
+        }
+        interfaces_.push_back(ifc);
+        continue;
+      }
+
+      if (block_type == kNgEpb) {
+        if (body_len < 20) continue;
+        ++st.records;
+        const std::uint32_t if_id = load32(body_, 0, swap_);
+        const std::uint64_t ts =
+            (static_cast<std::uint64_t>(load32(body_, 4, swap_)) << 32) |
+            load32(body_, 8, swap_);
+        const std::uint32_t caplen = load32(body_, 12, swap_);
+        if (caplen > body_len - 20) {
+          ++st.skipped;
+          continue;
+        }
+        const NgInterface ifc =
+            if_id < interfaces_.size() ? interfaces_[if_id] : NgInterface{};
+        const std::int64_t ts_us = static_cast<std::int64_t>(
+            static_cast<double>(ts) * 1e6 /
+            static_cast<double>(ifc.ts_per_sec));
+        if (parse_frame(std::span<const std::uint8_t>(body_.data() + 20,
+                                                      caplen),
+                        ifc.linktype, ts_us, builder, st)) {
+          return true;
+        }
+        continue;
+      }
+
+      if (block_type == kNgSpb) {
+        // Simple Packet Block: no timestamp; count it but skip (the
+        // analyzer is useless without timing).
+        ++st.records;
         ++st.skipped;
         continue;
       }
-      const NgInterface ifc =
-          if_id < interfaces.size() ? interfaces[if_id] : NgInterface{};
-      const std::int64_t ts_us = static_cast<std::int64_t>(
-          static_cast<double>(ts) * 1e6 / static_cast<double>(ifc.ts_per_sec));
-      parse_frame(std::span<const std::uint8_t>(body.data() + 20, caplen),
-                  ifc.linktype, ts_us, builder, st);
-      continue;
+      // Unknown block: already consumed; ignore.
     }
-
-    if (block_type == kNgSpb) {
-      // Simple Packet Block: no timestamp; count it but skip (the analyzer
-      // is useless without timing).
-      ++st.records;
-      ++st.skipped;
-      continue;
-    }
-    // Unknown block: already consumed; ignore.
   }
-  return trace;
+
+ private:
+  ByteReader& reader_;
+  std::vector<NgInterface> interfaces_;
+  bool swap_ = false;
+  bool first_block_ = true;
+  std::size_t blocks_ = 0;
+  // Grow-only scratch block buffer, reused across records.
+  std::vector<std::uint8_t> body_;
+};
+
+/// Auto-detects the capture format from the leading magic and returns the
+/// matching resumable parser. Shared by the batch readers and the
+/// StreamingReader.
+std::unique_ptr<FrameParser> open_parser(ByteReader& reader) {
+  std::array<std::uint8_t, 4> magic;
+  if (!reader.read(magic)) throw std::runtime_error("pcap: truncated header");
+  const std::uint32_t m = load32(magic, 0, /*swap=*/false);
+  if (m == kNgShb) return std::make_unique<NgParser>(reader);
+  if (m == kMagicUsec || m == __builtin_bswap32(kMagicUsec) ||
+      m == kMagicNsec || m == __builtin_bswap32(kMagicNsec)) {
+    return std::make_unique<ClassicParser>(reader, magic);
+  }
+  throw std::runtime_error("pcap: bad magic");
 }
 
 }  // namespace
@@ -394,15 +479,12 @@ net::PacketTrace read_stream(std::istream& in, ReadStats* stats) {
   ReadStats& st = stats ? *stats : local;
 
   ByteReader reader(in);
-  std::array<std::uint8_t, 4> magic;
-  if (!reader.read(magic)) throw std::runtime_error("pcap: truncated header");
-  const std::uint32_t m = load32(magic, 0, /*swap=*/false);
-  if (m == kNgShb) return read_pcapng(reader, st);
-  if (m == kMagicUsec || m == __builtin_bswap32(kMagicUsec) ||
-      m == kMagicNsec || m == __builtin_bswap32(kMagicNsec)) {
-    return read_classic(reader, magic, st);
+  const std::unique_ptr<FrameParser> parser = open_parser(reader);
+  net::PacketTrace trace;
+  net::TraceBuilder builder(trace);
+  while (parser->next(builder, st)) {
   }
-  throw std::runtime_error("pcap: bad magic");
+  return trace;
 }
 
 net::PacketTrace read_file(const std::string& path, ReadStats* stats) {
@@ -410,5 +492,77 @@ net::PacketTrace read_file(const std::string& path, ReadStats* stats) {
   if (!in) throw std::runtime_error("pcap: cannot open " + path);
   return read_stream(in, stats);
 }
+
+// ------------------------------------------------------- StreamingReader
+
+struct StreamingReader::Impl {
+  std::unique_ptr<std::ifstream> owned;  // set when constructed from a path
+  ByteReader reader;
+  std::unique_ptr<FrameParser> parser;
+  ReadStats stats;
+  /// Chunks sealed by the ChunkedTrace sink, waiting to be pulled. Lazy
+  /// sealing means at most one chunk sits here between next_chunk calls.
+  std::deque<net::TraceChunk> pending;
+  net::ChunkedTrace chunks;
+  bool eof = false;
+
+  /// Chunks must be small relative to a limited budget: a chunk is the
+  /// reader's indivisible residency unit, so if one chunk alone neared the
+  /// cap the downstream evictor could never get back under it. Cap the
+  /// chunk at 1/8 of the budget (min one packet) and let an explicit
+  /// smaller chunk_packets override win.
+  static std::size_t effective_chunk_packets(const Options& opts) {
+    std::size_t n = opts.chunk_packets;
+    if (opts.budget != nullptr && !opts.budget->unlimited()) {
+      const std::size_t cap = std::max<std::size_t>(
+          1, opts.budget->limit() / (8 * sizeof(net::CapturedPacket)));
+      n = std::min(n, cap);
+    }
+    return n;
+  }
+
+  Impl(std::istream& in, const Options& opts,
+       std::unique_ptr<std::ifstream> own)
+      : owned(std::move(own)),
+        reader(in),
+        parser(open_parser(reader)),
+        chunks(effective_chunk_packets(opts),
+               [this](net::TraceChunk&& c) { pending.push_back(std::move(c)); },
+               opts.budget) {}
+};
+
+StreamingReader::StreamingReader(const std::string& path, Options opts) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) throw std::runtime_error("pcap: cannot open " + path);
+  std::istream& ref = *in;
+  impl_ = std::make_unique<Impl>(ref, opts, std::move(in));
+}
+
+StreamingReader::StreamingReader(std::istream& in, Options opts)
+    : impl_(std::make_unique<Impl>(in, opts, nullptr)) {}
+
+StreamingReader::~StreamingReader() = default;
+StreamingReader::StreamingReader(StreamingReader&&) noexcept = default;
+StreamingReader& StreamingReader::operator=(StreamingReader&&) noexcept =
+    default;
+
+std::optional<net::TraceChunk> StreamingReader::next_chunk() {
+  Impl& im = *impl_;
+  while (im.pending.empty() && !im.eof) {
+    net::TraceBuilder builder(im.chunks);
+    if (!im.parser->next(builder, im.stats)) {
+      im.eof = true;
+      im.chunks.seal_open();  // tail chunk (possibly empty) flushes here
+    }
+  }
+  if (!im.pending.empty()) {
+    net::TraceChunk chunk = std::move(im.pending.front());
+    im.pending.pop_front();
+    return chunk;
+  }
+  return std::nullopt;
+}
+
+const ReadStats& StreamingReader::stats() const { return impl_->stats; }
 
 }  // namespace tapo::pcap

@@ -16,9 +16,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "net/chunk.h"
 #include "net/trace.h"
+#include "util/memory_budget.h"
 
 namespace tapo::pcap {
 
@@ -42,8 +46,50 @@ struct ReadStats {
 
 /// Parses a capture file (classic pcap or pcapng, auto-detected) into a
 /// PacketTrace. Non-TCP records are skipped and counted in ReadStats.
-/// Throws std::runtime_error on malformed file header.
+/// Throws std::runtime_error on malformed input; the message carries the
+/// record/block index and absolute file offset (e.g. "pcap: absurd caplen
+/// 300000 (record 7, offset 1832)").
 net::PacketTrace read_file(const std::string& path, ReadStats* stats = nullptr);
 net::PacketTrace read_stream(std::istream& in, ReadStats* stats = nullptr);
+
+/// Pull-based chunked reader: the same auto-detected parsers as
+/// read_stream, but packets are delivered as sealed fixed-size TraceChunks
+/// so a file larger than RAM streams through bounded memory. The
+/// claim-then-rollback parse semantics (and `truncated` flagging) are
+/// identical to the batch path — concatenating every chunk reproduces
+/// read_stream's trace bit for bit.
+///
+/// With Options::budget set, each chunk is charged against the pipeline's
+/// MemoryBudget for as long as it lives (TraceChunk releases on
+/// destruction), so the reader and the analyzer share one ledger.
+struct StreamingOptions {
+  std::size_t chunk_packets = net::ChunkedTrace::kDefaultChunkPackets;
+  util::MemoryBudget* budget = nullptr;
+};
+
+class StreamingReader {
+ public:
+  using Options = StreamingOptions;
+
+  /// Opens `path`; throws std::runtime_error if unreadable or not a
+  /// capture file.
+  explicit StreamingReader(const std::string& path, Options opts = {});
+  /// Reads from a caller-owned stream (must outlive the reader).
+  explicit StreamingReader(std::istream& in, Options opts = {});
+  ~StreamingReader();
+  StreamingReader(StreamingReader&&) noexcept;
+  StreamingReader& operator=(StreamingReader&&) noexcept;
+
+  /// Next sealed chunk, or nullopt at end of input. Throws on malformed
+  /// records (same messages as read_stream).
+  std::optional<net::TraceChunk> next_chunk();
+
+  /// Cumulative counters over everything parsed so far.
+  const ReadStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace tapo::pcap

@@ -115,6 +115,9 @@ class CaptureChannel {
   void emit(const net::CapturedPacket& pkt);
   net::CapturedPacket impair_record(const net::CapturedPacket& pkt);
 
+  // Documented borrow: the ctor contract pins `out` for the channel's
+  // whole lifetime, and the sink is a caller-owned batch trace, never a
+  // sealed chunk. tapo-lint: allow(trace-retain)
   net::PacketTrace* out_;
   CaptureImpairments imp_;
   Rng rng_;

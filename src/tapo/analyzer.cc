@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <set>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
+#include "net/chunk.h"
+#include "tapo/live.h"
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
 
@@ -1029,15 +1033,59 @@ FlowAnalysis Analyzer::analyze_flow(const FlowView& view) const {
   return out;
 }
 
+namespace {
+
+/// Batch-over-streaming adapter: feeds every packet `for_each` yields
+/// through an unbounded LiveAnalyzer (no timeouts, no caps — nothing
+/// finalizes until flush, so every flow is analyzed whole, exactly like
+/// the old batch path), then restores first-packet flow order, which the
+/// LRU-driven flush does not preserve.
+template <typename ForEachPacket>
+AnalysisResult analyze_streamed(const AnalyzerConfig& config,
+                                const DemuxOptions& demux,
+                                ForEachPacket&& for_each) {
+  LiveConfig live_config;
+  live_config.with_analyzer(config)
+      .with_demux(demux)
+      .with_idle_timeout(Duration::max())
+      .with_fin_linger(Duration::max())
+      .with_max_flows(std::numeric_limits<std::size_t>::max())
+      .with_max_packets_per_flow(std::numeric_limits<std::size_t>::max());
+
+  AnalysisResult result;
+  LiveAnalyzer live(live_config, LiveAnalyzer::FlowDoneFn(
+      [&result](const FlowAnalysis& fa) { result.flows.push_back(fa); }));
+  std::unordered_map<net::FlowKey, std::size_t, net::FlowKeyHash> first_seen;
+  for_each([&](const net::CapturedPacket& pkt) {
+    first_seen.try_emplace(pkt.key.canonical(), first_seen.size());
+    live.add_packet(pkt);
+  });
+  live.flush();
+  std::stable_sort(result.flows.begin(), result.flows.end(),
+                   [&first_seen](const FlowAnalysis& a, const FlowAnalysis& b) {
+                     return first_seen.at(a.key.canonical()) <
+                            first_seen.at(b.key.canonical());
+                   });
+  return result;
+}
+
+}  // namespace
+
 AnalysisResult Analyzer::analyze(const net::PacketTrace& trace,
                                  const DemuxOptions& demux) const {
-  AnalysisResult result;
-  const FlowViewSet views = demux_flow_views(trace, demux);
-  result.flows.reserve(views.size());
-  for (const FlowView& view : views) {
-    result.flows.push_back(analyze_flow(view));
-  }
-  return result;
+  return analyze_streamed(config_, demux, [&trace](auto&& feed) {
+    for (const net::CapturedPacket& pkt : trace.packets()) feed(pkt);
+  });
+}
+
+AnalysisResult Analyzer::analyze(const net::ChunkedTrace& trace,
+                                 const DemuxOptions& demux) const {
+  return analyze_streamed(config_, demux, [&trace](auto&& feed) {
+    for (const net::TraceChunk& chunk : trace.chunks()) {
+      for (const net::CapturedPacket& pkt : chunk.packets()) feed(pkt);
+    }
+    for (const net::CapturedPacket& pkt : trace.open_packets()) feed(pkt);
+  });
 }
 
 }  // namespace tapo::analysis

@@ -217,9 +217,16 @@ class Analyzer {
   FlowAnalysis analyze_flow(const Flow& flow) const;
   FlowAnalysis analyze_flow(const FlowView& view) const;
 
-  /// Demuxes with demux_flow_views and analyzes each view in place — no
-  /// per-flow packet copies anywhere on this path.
+  /// Batch entry point, now a veneer over the streaming engine: every
+  /// packet is fed through an unbounded LiveAnalyzer (one engine for the
+  /// offline and live paths) and the finalized flows are returned in
+  /// first-packet order — exactly the order the old multi-pass batch
+  /// demux produced. Still zero-copy per flow: the per-flow arenas are
+  /// demuxed with demux_flow_views and analyzed in place.
   AnalysisResult analyze(const net::PacketTrace& trace,
+                         const DemuxOptions& demux = {}) const;
+  /// Same, over a chunked trace (retained chunks + open tail, in order).
+  AnalysisResult analyze(const net::ChunkedTrace& trace,
                          const DemuxOptions& demux = {}) const;
 
   const AnalyzerConfig& config() const { return config_; }

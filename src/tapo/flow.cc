@@ -6,19 +6,6 @@
 namespace tapo::analysis {
 namespace {
 
-// Per-flow accumulator for the demux pass. Holds tallies only — packet
-// membership is recorded as slot ids in a side array and scattered into
-// the index pool afterwards, so demux cost is O(packets) with no per-flow
-// pointer vectors.
-struct Accum {
-  net::FlowKey canonical;
-  std::uint32_t count = 0;
-  std::uint32_t offset = 0;  // filled by the prefix-sum pass
-  // Per-endpoint bookkeeping keyed by "is packet's src == canonical.src".
-  std::uint64_t payload_a = 0, payload_b = 0;
-  bool synack_from_a = false, synack_from_b = false;
-};
-
 // Folds one packet's header facts into the flow meta. Shared by the view
 // demux (reading the arena) and kept deliberately orientation-only: the
 // caller decides from_server.
@@ -74,71 +61,69 @@ void DemuxOptions::validate() const {
   }
 }
 
-FlowViewSet demux_flow_views(const net::PacketTrace& trace,
-                             const DemuxOptions& opts) {
-  opts.validate();
-  const std::span<const net::CapturedPacket> pkts = trace.packets();
+FlowAccumulator::FlowAccumulator(const DemuxOptions& opts) : opts_(opts) {
+  opts_.validate();
+}
 
-  // Pass 1: hash each packet's canonical key to a flow slot (first-seen
-  // order), tallying counts and orientation evidence. slot_of remembers
-  // each packet's flow so pass 3 never rehashes.
-  std::unordered_map<net::FlowKey, std::uint32_t, net::FlowKeyHash> table;
-  std::vector<Accum> accums;
-  std::vector<std::uint32_t> slot_of(pkts.size());
-  for (std::size_t i = 0; i < pkts.size(); ++i) {
-    const net::CapturedPacket& pkt = pkts[i];
-    const net::FlowKey canon = pkt.key.canonical();
-    auto [it, inserted] =
-        table.try_emplace(canon, static_cast<std::uint32_t>(accums.size()));
-    if (inserted) {
-      accums.emplace_back();
-      accums.back().canonical = canon;
-    }
-    Accum& a = accums[it->second];
-    slot_of[i] = it->second;
-    ++a.count;
-    const bool from_a = pkt.key == canon;
-    if (from_a) {
-      a.payload_a += pkt.payload_len;
-      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) a.synack_from_a = true;
-    } else {
-      a.payload_b += pkt.payload_len;
-      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) a.synack_from_b = true;
-    }
+void FlowAccumulator::ingest(const net::CapturedPacket& pkt,
+                             std::uint32_t index) {
+  // Hash the packet's canonical key to a flow slot (first-seen order),
+  // tallying counts and orientation evidence. slot_of_ remembers each
+  // packet's flow so finish() never rehashes.
+  const net::FlowKey canon = pkt.key.canonical();
+  auto [it, inserted] =
+      table_.try_emplace(canon, static_cast<std::uint32_t>(accums_.size()));
+  if (inserted) {
+    accums_.emplace_back();
+    accums_.back().canonical = canon;
   }
+  Accum& a = accums_[it->second];
+  slot_of_.push_back(it->second);
+  index_of_.push_back(index);
+  ++a.count;
+  const bool from_a = pkt.key == canon;
+  if (from_a) {
+    a.payload_a += pkt.payload_len;
+    if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) a.synack_from_a = true;
+  } else {
+    a.payload_b += pkt.payload_len;
+    if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) a.synack_from_b = true;
+  }
+}
 
-  // Pass 2: prefix-sum the counts into pool offsets (every flow gets a
-  // segment; below-min flows are simply never wrapped in a view).
+FlowViewSet FlowAccumulator::finish(const net::PacketTrace& trace) {
+  // Prefix-sum the counts into pool offsets (every flow gets a segment;
+  // below-min flows are simply never wrapped in a view).
   FlowViewSet out;
-  out.index_pool_.resize(pkts.size());
+  out.index_pool_.resize(index_of_.size());
   std::uint32_t running = 0;
-  for (Accum& a : accums) {
+  for (Accum& a : accums_) {
     a.offset = running;
     running += a.count;
   }
 
-  // Pass 3: scatter packet indices into each flow's segment, preserving
-  // capture order within the flow.
+  // Scatter packet indices into each flow's segment, preserving capture
+  // order within the flow.
   {
-    std::vector<std::uint32_t> cursor(accums.size());
-    for (std::size_t i = 0; i < accums.size(); ++i) {
-      cursor[i] = accums[i].offset;
+    std::vector<std::uint32_t> cursor(accums_.size());
+    for (std::size_t i = 0; i < accums_.size(); ++i) {
+      cursor[i] = accums_[i].offset;
     }
-    for (std::size_t i = 0; i < pkts.size(); ++i) {
-      out.index_pool_[cursor[slot_of[i]]++] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < index_of_.size(); ++i) {
+      out.index_pool_[cursor[slot_of_[i]]++] = index_of_[i];
     }
   }
 
-  // Pass 4: orient each kept flow and walk its segment once to extract the
+  // Orient each kept flow and walk its segment once to extract the
   // handshake/transfer meta.
-  out.flows_.reserve(accums.size());
-  for (const Accum& a : accums) {
-    if (a.count < opts.min_packets) continue;
+  out.flows_.reserve(accums_.size());
+  for (const Accum& a : accums_) {
+    if (a.count < opts_.min_packets) continue;
 
     // Decide which endpoint is the server.
     bool server_is_a;
-    if (opts.server_port != 0) {
-      server_is_a = a.canonical.src_port == opts.server_port;
+    if (opts_.server_port != 0) {
+      server_is_a = a.canonical.src_port == opts_.server_port;
     } else if (a.synack_from_a != a.synack_from_b) {
       server_is_a = a.synack_from_a;
     } else {
@@ -160,6 +145,16 @@ FlowViewSet demux_flow_views(const net::PacketTrace& trace,
     out.flows_.push_back(view);
   }
   return out;
+}
+
+FlowViewSet demux_flow_views(const net::PacketTrace& trace,
+                             const DemuxOptions& opts) {
+  FlowAccumulator acc(opts);
+  const std::span<const net::CapturedPacket> pkts = trace.packets();
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    acc.ingest(pkts[i], static_cast<std::uint32_t>(i));
+  }
+  return acc.finish(trace);
 }
 
 std::vector<Flow> demux_flows(const net::PacketTrace& trace,

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <span>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "net/trace.h"
@@ -169,10 +170,50 @@ class FlowViewSet {
   }
 
  private:
-  friend FlowViewSet demux_flow_views(const net::PacketTrace&,
-                                      const DemuxOptions&);
+  friend class FlowAccumulator;
   std::vector<std::uint32_t> index_pool_;
   std::vector<FlowView> flows_;
+};
+
+/// Streaming core of the demux. Packets fold in one at a time — per
+/// canonical key it accumulates membership (arena indices) and
+/// orientation evidence (payload per endpoint, SYN-ACK sightings) — and
+/// finish() orients each kept flow and extracts its meta. demux_flow_views
+/// is a thin wrapper that feeds one whole trace through an accumulator;
+/// chunked producers feed the same accumulator incrementally instead of
+/// requiring the batch multi-pass plumbing this replaced.
+class FlowAccumulator {
+ public:
+  explicit FlowAccumulator(const DemuxOptions& opts);
+
+  /// Folds in the packet stored at arena index `index`. Indices must be
+  /// strictly increasing (capture order).
+  void ingest(const net::CapturedPacket& pkt, std::uint32_t index);
+
+  /// Builds the per-flow views over `trace` — the arena the ingested
+  /// indices point into. Call once, after the last ingest.
+  FlowViewSet finish(const net::PacketTrace& trace);
+
+  std::size_t packets() const { return index_of_.size(); }
+  std::size_t flows() const { return accums_.size(); }
+
+ private:
+  /// Per-flow tallies; packet membership lives in index_of_/slot_of_ and
+  /// is scattered into the FlowViewSet pool by finish().
+  struct Accum {
+    net::FlowKey canonical;
+    std::uint32_t count = 0;
+    std::uint32_t offset = 0;  // filled by finish()'s prefix sum
+    // Per-endpoint bookkeeping keyed by "is packet's src == canonical.src".
+    std::uint64_t payload_a = 0, payload_b = 0;
+    bool synack_from_a = false, synack_from_b = false;
+  };
+
+  DemuxOptions opts_;
+  std::unordered_map<net::FlowKey, std::uint32_t, net::FlowKeyHash> table_;
+  std::vector<Accum> accums_;
+  std::vector<std::uint32_t> slot_of_;   // per ingested packet: flow slot
+  std::vector<std::uint32_t> index_of_;  // per ingested packet: arena index
 };
 
 /// Splits `trace` into non-owning per-flow views without copying a single

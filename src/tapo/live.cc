@@ -56,6 +56,11 @@ LiveConfig& LiveConfig::with_max_packets_per_flow(std::size_t n) {
   return *this;
 }
 
+LiveConfig& LiveConfig::with_mem_budget(util::MemoryBudget* b) {
+  mem_budget = b;
+  return *this;
+}
+
 void LiveConfig::validate() const {
   analyzer.validate();
   demux.validate();
@@ -84,10 +89,13 @@ void count_flow_event(const char* which) {
       telemetry::Registry::instance().counter("tapo_live_flows_evicted_total");
   static auto& truncated = telemetry::Registry::instance().counter(
       "tapo_live_flows_truncated_total");
+  static auto& budget = telemetry::Registry::instance().counter(
+      "tapo_live_flows_budget_evicted_total");
   switch (which[0]) {
     case 'f': finalized.add(1); break;
     case 'e': evicted.add(1); break;
     case 't': truncated.add(1); break;
+    case 'b': budget.add(1); break;
   }
 }
 
@@ -116,18 +124,84 @@ void LiveAnalyzer::finalize(const net::FlowKey& key) {
              entry.last_activity.us(), entry.trace.size(), flows_.size());
   count_flow_event("finalize");
   stats_.active_flows = flows_.size();
-  if (entry.trace.empty()) return;
-  auto result = analyzer_.analyze(entry.trace, config_.demux);
-  if (on_flow_done_) {
-    for (const auto& fa : result.flows) on_flow_done_(fa);
+  if (!entry.trace.empty()) {
+    // The one analysis engine: demux core + per-flow kernel, invoked
+    // directly. Analyzer::analyze is a wrapper over *this* class, so
+    // calling it here would recurse.
+    const FlowViewSet views = demux_flow_views(entry.trace, config_.demux);
+    AnalysisResult result;
+    result.flows.reserve(views.size());
+    for (const FlowView& view : views) {
+      result.flows.push_back(analyzer_.analyze_flow(view));
+    }
+    if (on_flow_done_) {
+      for (const auto& fa : result.flows) on_flow_done_(fa);
+    }
+    if (sink_ != nullptr && !result.flows.empty()) {
+      FlowResult fr;
+      fr.index = sink_ordinal_++;
+      fr.packets = entry.trace.size();
+      fr.analyses = std::move(result.flows);
+      sink_->consume(std::move(fr));
+    }
   }
-  if (sink_ != nullptr && !result.flows.empty()) {
-    FlowResult fr;
-    fr.index = sink_ordinal_++;
-    fr.packets = entry.trace.size();
-    fr.analyses = std::move(result.flows);
-    sink_->consume(std::move(fr));
+  // Release only after analysis: the arena was live until here.
+  if (config_.mem_budget != nullptr && entry.charged_bytes != 0) {
+    config_.mem_budget->release(entry.charged_bytes);
+    stats_.flow_bytes -= entry.charged_bytes;
+    update_resident_gauge();
   }
+}
+
+void LiveAnalyzer::recharge(Entry& entry) {
+  if (config_.mem_budget == nullptr) return;
+  const std::size_t want = entry.trace.capacity_bytes() + kFlowOverheadBytes;
+  if (want > entry.charged_bytes) {
+    config_.mem_budget->charge(want - entry.charged_bytes);
+    stats_.flow_bytes += want - entry.charged_bytes;
+    entry.charged_bytes = want;
+  }
+}
+
+std::size_t LiveAnalyzer::charge_after_append(const Entry& entry) const {
+  std::size_t cap =
+      entry.trace.capacity_bytes() / sizeof(net::CapturedPacket);
+  // Mirrors PacketTrace::grow_to: 64 slots first, then doubling.
+  if (entry.trace.size() == cap) cap = cap == 0 ? 64 : cap * 2;
+  return cap * sizeof(net::CapturedPacket) + kFlowOverheadBytes;
+}
+
+std::size_t LiveAnalyzer::soft_limit() const {
+  // Evict down to half the cap, not the cap itself: the headroom absorbs
+  // the open ingest chunk plus the finalize-time transients (demux index
+  // pool, per-packet analysis state), which scale with the largest
+  // buffered flow — i.e. with the retained half. This is what keeps the
+  // allocator-measured process peak, not just the ledger, under the cap
+  // (bench/streaming_scale gates exactly that).
+  return config_.mem_budget->limit() / 2;
+}
+
+void LiveAnalyzer::evict_for(std::size_t incoming, const net::FlowKey* keep) {
+  util::MemoryBudget* budget = config_.mem_budget;
+  if (budget == nullptr || budget->unlimited()) return;
+  const std::size_t soft = soft_limit();
+  while (budget->resident() + incoming > soft && !lru_.empty()) {
+    if (keep != nullptr && lru_.front() == *keep) break;
+    const std::size_t before = budget->resident();
+    ++stats_.budget_evictions;
+    TAPO_TRACE(telemetry::EventKind::kFlowEvict, 0, budget->resident(),
+               budget->limit());
+    count_flow_event("budget");
+    finalize(lru_.front());
+    if (budget->resident() >= before) break;  // other stages hold the rest
+  }
+}
+
+void LiveAnalyzer::update_resident_gauge() {
+  if (!telemetry::metrics_enabled() || config_.mem_budget == nullptr) return;
+  static auto& resident =
+      telemetry::Registry::instance().gauge("tapo_pipeline_resident_bytes");
+  resident.set(static_cast<double>(config_.mem_budget->resident()));
 }
 
 void LiveAnalyzer::reap(TimePoint now) {
@@ -153,21 +227,46 @@ void LiveAnalyzer::add_packet(const net::CapturedPacket& pkt) {
   const net::FlowKey key = pkt.key.canonical();
 
   auto [it, inserted] = flows_.try_emplace(key);
-  Entry& entry = it->second;
   if (inserted) {
     ++stats_.flows_started;
     lru_.push_back(key);
-    entry.lru_it = std::prev(lru_.end());
+    it->second.lru_it = std::prev(lru_.end());
   } else {
     // Move to the back of the LRU.
-    lru_.erase(entry.lru_it);
+    lru_.erase(it->second.lru_it);
     lru_.push_back(key);
-    entry.lru_it = std::prev(lru_.end());
+    it->second.lru_it = std::prev(lru_.end());
   }
 
+  // Make room for the projected arena growth BEFORE add() allocates it —
+  // evicting afterwards could not undo the peak. Other entries may be
+  // finalized here; unordered_map erasure leaves `it` valid, and `key`
+  // itself (just moved to the LRU back) is pinned.
+  if (config_.mem_budget != nullptr && !config_.mem_budget->unlimited()) {
+    const std::size_t want = charge_after_append(it->second);
+    if (want > it->second.charged_bytes) {
+      const std::size_t delta = want - it->second.charged_bytes;
+      evict_for(delta, &key);
+      // Still no room with every other flow gone: this one flow outgrows
+      // the budget on its own. Analyze what we have and restart the
+      // window, exactly like the max_packets_per_flow truncation path.
+      if (config_.mem_budget->resident() + delta > soft_limit() &&
+          !it->second.trace.empty()) {
+        ++stats_.budget_evictions;
+        count_flow_event("budget");
+        finalize(key);  // invalidates `it`
+        it = flows_.try_emplace(key).first;
+        lru_.push_back(key);
+        it->second.lru_it = std::prev(lru_.end());
+      }
+    }
+  }
+
+  Entry& entry = it->second;
   entry.trace.add(pkt);
   entry.last_activity = pkt.timestamp;
   if (pkt.tcp.flags.fin) entry.fin_seen = true;
+  recharge(entry);
 
   if (entry.trace.size() >= config_.max_packets_per_flow) {
     // Long-lived elephant: analyze what we have and restart the window.
@@ -188,7 +287,13 @@ void LiveAnalyzer::add_packet(const net::CapturedPacket& pkt) {
     count_flow_event("evict");
     finalize(lru_.front());
   }
+  evict_over_budget();
   stats_.active_flows = flows_.size();
+  update_resident_gauge();
+}
+
+void LiveAnalyzer::add_chunk(const net::TraceChunk& chunk) {
+  for (const net::CapturedPacket& pkt : chunk.packets()) add_packet(pkt);
 }
 
 void LiveAnalyzer::flush() {

@@ -30,11 +30,17 @@ std::optional<net::SackBlock> extract_dsack(const net::TcpHeader& tcp) {
 
 Connection::Connection(sim::Simulator& sim, sim::Link& down, sim::Link& up,
                        ConnectionConfig config, net::PacketTrace* trace)
+    : Connection(sim, down, up, std::move(config),
+                 trace != nullptr ? net::TraceBuilder(*trace)
+                                  : net::TraceBuilder()) {}
+
+Connection::Connection(sim::Simulator& sim, sim::Link& down, sim::Link& up,
+                       ConnectionConfig config, net::TraceBuilder capture)
     : sim_(sim),
       down_(down),
       up_(up),
       config_(std::move(config)),
-      trace_(trace),
+      capture_(capture),
       client_retx_(sim, [this] { client_retx_fire(); }) {
   client_isn_ = config_.client_isn;
   server_isn_ = config_.server_isn;
@@ -73,10 +79,10 @@ net::CapturedPacket Connection::make_packet(bool from_client) const {
 }
 
 void Connection::capture_at_server(const net::CapturedPacket& pkt) {
-  if (trace_ != nullptr) {
-    // Write straight into the trace arena; only the capture timestamp
+  if (capture_.attached()) {
+    // Write straight into the capture backend; only the capture timestamp
     // differs from the wire packet.
-    net::CapturedPacket& slot = net::TraceBuilder(*trace_).begin_packet();
+    net::CapturedPacket& slot = capture_.begin_packet();
     slot = pkt;
     slot.timestamp = sim_.now();
   }

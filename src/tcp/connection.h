@@ -82,6 +82,14 @@ struct ConnectionMetrics {
 class Connection {
  public:
   /// `down` carries server->client packets, `up` client->server.
+  /// `capture` is the server-NIC tap: a detached builder (default state)
+  /// disables capture; an attached one receives every packet crossing the
+  /// server NIC, whichever backend (contiguous arena or chunked stream)
+  /// it fronts.
+  Connection(sim::Simulator& sim, sim::Link& down, sim::Link& up,
+             ConnectionConfig config, net::TraceBuilder capture);
+  /// Compatibility: capture straight into a caller-owned arena (nullptr
+  /// disables capture).
   Connection(sim::Simulator& sim, sim::Link& down, sim::Link& up,
              ConnectionConfig config, net::PacketTrace* trace);
   ~Connection();
@@ -122,7 +130,7 @@ class Connection {
   sim::Link& down_;
   sim::Link& up_;
   ConnectionConfig config_;
-  net::PacketTrace* trace_;
+  net::TraceBuilder capture_;
 
   std::unique_ptr<TcpSender> sender_;
   std::unique_ptr<TcpReceiver> receiver_;

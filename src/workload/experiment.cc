@@ -96,7 +96,8 @@ FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
   sim::Link down(sim, scenario.down_link, link_rng.split());
   sim::Link up(sim, scenario.up_link, link_rng.split());
   tcp::Connection conn(sim, down, up, scenario.connection,
-                       out.trace ? &*out.trace : nullptr);
+                       out.trace ? net::TraceBuilder(*out.trace)
+                                 : net::TraceBuilder());
   conn.start();
   sim.run_until(sim.now() + max_flow_time);
 

@@ -1,0 +1,546 @@
+// Streaming-pipeline tests: chunked ingest and the live analysis engine
+// must be bit-identical to the batch path for every chunk granularity and
+// workload profile (with and without capture impairments), budgets must
+// bound residency deterministically, and pcap parse errors must locate the
+// bad record by index and absolute file offset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "net/chunk.h"
+#include "pcap/pcap.h"
+#include "sim/capture_channel.h"
+#include "tapo/analyzer.h"
+#include "tapo/live.h"
+#include "util/memory_budget.h"
+#include "util/rng.h"
+#include "workload/experiment.h"
+#include "workload/profiles.h"
+
+namespace tapo::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deep FlowAnalysis equality. EXPECT_EQ on doubles is deliberate: both paths
+// must execute the identical instruction stream, so results are bit-equal,
+// not merely close.
+// ---------------------------------------------------------------------------
+
+void expect_same_stall(const StallRecord& a, const StallRecord& b) {
+  EXPECT_EQ(a.start.us(), b.start.us());
+  EXPECT_EQ(a.end.us(), b.end.us());
+  EXPECT_EQ(a.duration.us(), b.duration.us());
+  EXPECT_EQ(a.cause, b.cause);
+  EXPECT_EQ(a.retrans_cause, b.retrans_cause);
+  EXPECT_EQ(a.f_double, b.f_double);
+  EXPECT_EQ(a.state_at_stall, b.state_at_stall);
+  EXPECT_EQ(a.in_flight, b.in_flight);
+  EXPECT_EQ(a.rel_position, b.rel_position);
+  EXPECT_EQ(a.cur_pkt_index, b.cur_pkt_index);
+}
+
+void expect_same_analysis(const FlowAnalysis& a, const FlowAnalysis& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.transmission_time.us(), b.transmission_time.us());
+  EXPECT_EQ(a.unique_bytes, b.unique_bytes);
+  EXPECT_EQ(a.data_segments, b.data_segments);
+  EXPECT_EQ(a.retrans_segments, b.retrans_segments);
+  EXPECT_EQ(a.avg_speed_Bps, b.avg_speed_Bps);
+  EXPECT_EQ(a.rtt_samples_us, b.rtt_samples_us);
+  EXPECT_EQ(a.rto_at_timeout_us, b.rto_at_timeout_us);
+  EXPECT_EQ(a.avg_rtt_us, b.avg_rtt_us);
+  EXPECT_EQ(a.avg_rto_us, b.avg_rto_us);
+  EXPECT_EQ(a.avg_rto_on_ack_us, b.avg_rto_on_ack_us);
+  EXPECT_EQ(a.stalled_time.us(), b.stalled_time.us());
+  EXPECT_EQ(a.stall_ratio, b.stall_ratio);
+  EXPECT_EQ(a.init_rwnd_bytes, b.init_rwnd_bytes);
+  EXPECT_EQ(a.init_rwnd_mss, b.init_rwnd_mss);
+  EXPECT_EQ(a.had_zero_rwnd, b.had_zero_rwnd);
+  EXPECT_EQ(a.inflight_on_ack, b.inflight_on_ack);
+  EXPECT_EQ(a.timeout_retrans, b.timeout_retrans);
+  EXPECT_EQ(a.fast_retrans, b.fast_retrans);
+  EXPECT_EQ(a.spurious_retrans, b.spurious_retrans);
+  ASSERT_EQ(a.stalls.size(), b.stalls.size());
+  for (std::size_t i = 0; i < a.stalls.size(); ++i) {
+    expect_same_stall(a.stalls[i], b.stalls[i]);
+  }
+}
+
+void expect_same_result(const AnalysisResult& a, const AnalysisResult& b) {
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    SCOPED_TRACE("flow " + std::to_string(i));
+    expect_same_analysis(a.flows[i], b.flows[i]);
+  }
+}
+
+/// Simulates `n_flows` flows of `profile` and merges their server-NIC
+/// captures into one time-sorted arena.
+net::PacketTrace merged_trace(const workload::ServiceProfile& profile,
+                              std::uint64_t seed, std::uint64_t n_flows) {
+  Rng master(seed);
+  net::PacketTrace merged;
+  for (std::uint64_t f = 0; f < n_flows; ++f) {
+    Rng flow_rng = master.split();
+    const auto scenario = workload::draw_scenario(profile, flow_rng, f);
+    auto outcome =
+        workload::run_flow(scenario, flow_rng.split(), Duration::seconds(600.0),
+                           workload::TraceCapture::kServerNic);
+    if (!outcome.trace.has_value()) {
+      ADD_FAILURE() << "flow " << f << " produced no capture";
+      continue;
+    }
+    for (const auto& p : outcome.trace->packets()) merged.add(p);
+  }
+  merged.sort_by_time();
+  return merged;
+}
+
+struct ProfileCase {
+  const char* name;
+  workload::ServiceProfile profile;
+};
+
+std::vector<ProfileCase> all_profiles() {
+  return {{"cloud_storage", workload::cloud_storage_profile()},
+          {"software_download", workload::software_download_profile()},
+          {"web_search", workload::web_search_profile()}};
+}
+
+struct ChunkCase {
+  const char* name;
+  std::size_t packets;
+};
+
+/// The ISSUE-mandated chunk granularities: one packet, ~4 KiB, ~1 MiB, and
+/// the whole trace in one chunk.
+std::vector<ChunkCase> chunk_cases(std::size_t whole_trace_packets) {
+  const auto per = sizeof(net::CapturedPacket);
+  return {{"1pkt", 1},
+          {"4KiB", std::max<std::size_t>(1, 4096 / per)},
+          {"1MiB", std::max<std::size_t>(1, (std::size_t{1} << 20) / per)},
+          {"whole", std::max<std::size_t>(1, whole_trace_packets)}};
+}
+
+/// Rebuilds `trace` as a retained ChunkedTrace of the given granularity.
+net::ChunkedTrace rechunk(const net::PacketTrace& trace,
+                          std::size_t chunk_packets) {
+  net::ChunkedTrace chunks(chunk_packets);
+  for (const auto& pkt : trace.packets()) chunks.add(pkt);
+  return chunks;
+}
+
+/// Streams `trace` through a pcap file and an unbounded LiveAnalyzer in
+/// `chunk_packets`-sized chunks — the full production streaming pipeline —
+/// and returns the flows restored to first-packet order (what the batch
+/// path emits).
+AnalysisResult analyze_via_streaming_pipeline(const net::PacketTrace& trace,
+                                              std::size_t chunk_packets,
+                                              util::MemoryBudget* budget,
+                                              LiveStats* stats_out = nullptr) {
+  std::stringstream bytes;
+  pcap::write_stream(bytes, trace);
+
+  auto config =
+      LiveConfig{}
+          .with_idle_timeout(Duration::max())
+          .with_fin_linger(Duration::max())
+          .with_max_flows(std::numeric_limits<std::size_t>::max())
+          .with_max_packets_per_flow(std::numeric_limits<std::size_t>::max())
+          .with_mem_budget(budget);
+  AnalysisResult result;
+  LiveAnalyzer live(config, LiveAnalyzer::FlowDoneFn(
+      [&result](const FlowAnalysis& fa) { result.flows.push_back(fa); }));
+
+  std::unordered_map<net::FlowKey, std::size_t, net::FlowKeyHash> first_seen;
+  pcap::StreamingReader reader(
+      bytes, pcap::StreamingOptions{.chunk_packets = chunk_packets,
+                                    .budget = budget});
+  while (auto chunk = reader.next_chunk()) {
+    for (const auto& pkt : chunk->packets()) {
+      first_seen.try_emplace(pkt.key.canonical(), first_seen.size());
+      live.add_packet(pkt);
+    }
+  }
+  live.flush();
+  if (stats_out != nullptr) *stats_out = live.stats();
+  std::stable_sort(result.flows.begin(), result.flows.end(),
+                   [&first_seen](const FlowAnalysis& a, const FlowAnalysis& b) {
+                     return first_seen.at(a.key.canonical()) <
+                            first_seen.at(b.key.canonical());
+                   });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole invariant: with unlimited budget, streaming output is
+// bit-identical to batch output for every profile and every chunk size.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingEquivalence, ChunkedAnalysisBitIdenticalToBatch) {
+  const Analyzer analyzer;
+  for (const auto& [pname, profile] : all_profiles()) {
+    SCOPED_TRACE(pname);
+    const net::PacketTrace trace = merged_trace(profile, /*seed=*/1234, 5);
+    ASSERT_GT(trace.size(), 0u);
+    const AnalysisResult batch = analyzer.analyze(trace);
+    for (const auto& [cname, packets] : chunk_cases(trace.size())) {
+      SCOPED_TRACE(cname);
+      const net::ChunkedTrace chunks = rechunk(trace, packets);
+      ASSERT_EQ(chunks.size(), trace.size());
+      expect_same_result(analyzer.analyze(chunks), batch);
+    }
+  }
+}
+
+TEST(StreamingEquivalence, HoldsUnderCaptureImpairments) {
+  const Analyzer analyzer;
+  const auto imp = sim::CaptureImpairments{}
+                       .with_drop(0.02)
+                       .with_burst_drop(0.01, 0.5)
+                       .with_snaplen(60)
+                       .with_duplication(0.01)
+                       .with_reordering(0.05)
+                       .with_jitter(Duration::micros(40))
+                       .with_mid_stream_start(3)
+                       .with_seed(7);
+  for (const auto& [pname, profile] : all_profiles()) {
+    SCOPED_TRACE(pname);
+    const net::PacketTrace pristine = merged_trace(profile, /*seed=*/88, 4);
+    ASSERT_GT(pristine.size(), 0u);
+    const net::PacketTrace degraded = sim::apply_impairments(pristine, imp);
+    const AnalysisResult batch = analyzer.analyze(degraded);
+    for (const auto& [cname, packets] : chunk_cases(degraded.size())) {
+      SCOPED_TRACE(cname);
+      expect_same_result(analyzer.analyze(rechunk(degraded, packets)), batch);
+    }
+  }
+}
+
+TEST(StreamingEquivalence, FullPipelineMatchesBatchForEveryChunkSize) {
+  // pcap serialization -> StreamingReader chunks -> unbounded LiveAnalyzer:
+  // the whole streaming stack against batch analysis of the same bytes.
+  const Analyzer analyzer;
+  for (const auto& [pname, profile] : all_profiles()) {
+    SCOPED_TRACE(pname);
+    const net::PacketTrace trace = merged_trace(profile, /*seed=*/4321, 4);
+    ASSERT_GT(trace.size(), 0u);
+    std::stringstream bytes;
+    pcap::write_stream(bytes, trace);
+    const net::PacketTrace reread = pcap::read_stream(bytes);
+    const AnalysisResult batch = analyzer.analyze(reread);
+    for (const auto& [cname, packets] : chunk_cases(trace.size())) {
+      SCOPED_TRACE(cname);
+      const AnalysisResult streamed =
+          analyze_via_streaming_pipeline(trace, packets, nullptr);
+      expect_same_result(streamed, batch);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingReader: chunk concatenation reproduces read_stream bit for bit,
+// truncation semantics included.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingReader, ChunksConcatenateToReadStream) {
+  const net::PacketTrace trace =
+      merged_trace(workload::web_search_profile(), /*seed=*/15, 3);
+  ASSERT_GT(trace.size(), 0u);
+  std::stringstream bytes;
+  pcap::write_stream(bytes, trace);
+  const std::string blob = bytes.str();
+
+  std::stringstream batch_in(blob);
+  pcap::ReadStats batch_stats;
+  const net::PacketTrace batch = pcap::read_stream(batch_in, &batch_stats);
+
+  for (const auto& [cname, packets] : chunk_cases(trace.size())) {
+    SCOPED_TRACE(cname);
+    std::stringstream in(blob);
+    pcap::StreamingReader reader(
+        in, pcap::StreamingOptions{.chunk_packets = packets});
+    net::PacketTrace concat;
+    while (auto chunk = reader.next_chunk()) {
+      for (const auto& pkt : chunk->packets()) concat.add(pkt);
+    }
+    ASSERT_EQ(concat.size(), batch.size());
+    for (std::size_t i = 0; i < concat.size(); ++i) {
+      EXPECT_EQ(concat[i].timestamp.us(), batch[i].timestamp.us());
+      EXPECT_EQ(concat[i].key, batch[i].key);
+      EXPECT_EQ(concat[i].tcp.seq, batch[i].tcp.seq);
+      EXPECT_EQ(concat[i].tcp.ack, batch[i].tcp.ack);
+      EXPECT_EQ(concat[i].payload_len, batch[i].payload_len);
+      EXPECT_EQ(concat[i].truncated, batch[i].truncated);
+    }
+    EXPECT_EQ(reader.stats().records, batch_stats.records);
+    EXPECT_EQ(reader.stats().tcp_packets, batch_stats.tcp_packets);
+    EXPECT_EQ(reader.stats().skipped, batch_stats.skipped);
+  }
+}
+
+TEST(StreamingReader, KeepsCompleteRecordsOnTruncatedTail) {
+  // Same rollback semantics as read_stream: a capture cut mid-record keeps
+  // everything before the cut.
+  const net::PacketTrace trace =
+      merged_trace(workload::web_search_profile(), /*seed=*/42, 1);
+  ASSERT_GE(trace.size(), 3u);
+  std::stringstream full;
+  pcap::write_stream(full, trace);
+  const std::string blob = full.str();
+  // Cut inside the last record's body (records are 16-byte header + body).
+  const std::string cut = blob.substr(0, blob.size() - 4);
+
+  std::stringstream in(cut);
+  pcap::StreamingReader reader(in,
+                               pcap::StreamingOptions{.chunk_packets = 2});
+  std::size_t total = 0;
+  while (auto chunk = reader.next_chunk()) total += chunk->size();
+  EXPECT_EQ(total, trace.size() - 1);
+  EXPECT_EQ(reader.stats().tcp_packets, trace.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: parse errors report the absolute file offset and frame index.
+// ---------------------------------------------------------------------------
+
+TEST(PcapErrors, ClassicCaplenErrorCarriesRecordIndexAndOffset) {
+  net::PacketTrace trace =
+      merged_trace(workload::web_search_profile(), /*seed=*/9, 1);
+  ASSERT_GE(trace.size(), 2u);
+  std::stringstream out;
+  pcap::write_stream(out, trace);
+  std::string blob = out.str();
+
+  // Corrupt record 2's caplen field. Record 1 starts after the 24-byte
+  // global header; its caplen sits at bytes [8, 12) of the record header.
+  constexpr std::size_t kGlobalHeader = 24;
+  constexpr std::size_t kRecordHeader = 16;
+  const auto u8 = [&blob](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<std::uint8_t>(blob[i]));
+  };
+  const std::uint32_t caplen1 =
+      u8(kGlobalHeader + 8) | (u8(kGlobalHeader + 9) << 8) |
+      (u8(kGlobalHeader + 10) << 16) | (u8(kGlobalHeader + 11) << 24);
+  const std::size_t record2 = kGlobalHeader + kRecordHeader + caplen1;
+  ASSERT_LT(record2 + kRecordHeader, blob.size());
+  // 8 MiB caplen: far over the reader's 256 KiB sanity cap.
+  blob[record2 + 8] = 0;
+  blob[record2 + 9] = 0;
+  blob[record2 + 10] = static_cast<char>(0x80);
+  blob[record2 + 11] = 0;
+
+  const std::string expected = "pcap: absurd caplen 8388608 (record 2, offset " +
+                               std::to_string(record2) + ")";
+  std::stringstream in(blob);
+  try {
+    pcap::read_stream(in);
+    FAIL() << "read_stream must reject the absurd caplen";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), expected);
+  }
+
+  // The streaming reader throws the identical message from next_chunk.
+  // (Sealing is lazy, so the parse error can surface before the first
+  // chunk is handed out — any next_chunk call may throw.)
+  std::stringstream in2(blob);
+  pcap::StreamingReader reader(in2,
+                               pcap::StreamingOptions{.chunk_packets = 1});
+  try {
+    while (reader.next_chunk()) {
+    }
+    FAIL() << "StreamingReader must reject the absurd caplen";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), expected);
+  }
+}
+
+TEST(PcapErrors, PcapngBlockErrorCarriesBlockIndexAndOffset) {
+  // Minimal pcapng: a valid SHB, then a block with an absurd length.
+  std::string blob;
+  const auto put32 = [&blob](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      blob.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  put32(0x0A0D0D0A);  // SHB type
+  put32(28);          // SHB length
+  put32(0x1A2B3C4D);  // byte-order magic
+  put32(0x00000001);  // version 1.0
+  put32(0xFFFFFFFF);  // section length (unspecified), low
+  put32(0xFFFFFFFF);  // section length, high
+  put32(28);          // trailing length
+  const std::size_t block2 = blob.size();
+  put32(0x00000006);   // EPB type
+  put32(0xFFFFFFF0u);  // absurd total length
+
+  std::stringstream in(blob);
+  try {
+    pcap::read_stream(in);
+    FAIL() << "read_stream must reject the absurd block length";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("block 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offset " + std::to_string(block2)), std::string::npos)
+        << msg;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBudget ledger and chunk RAII accounting.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryBudget, LedgerTracksChargesReleasesAndHighWater) {
+  util::MemoryBudget budget(1000);
+  EXPECT_FALSE(budget.unlimited());
+  EXPECT_FALSE(budget.over_budget());
+  budget.charge(600);
+  EXPECT_EQ(budget.resident(), 600u);
+  budget.charge(600);
+  EXPECT_TRUE(budget.over_budget());
+  EXPECT_EQ(budget.high_water(), 1200u);
+  budget.release(700);
+  EXPECT_EQ(budget.resident(), 500u);
+  EXPECT_FALSE(budget.over_budget());
+  // Over-release clamps to zero instead of wrapping.
+  budget.release(10'000);
+  EXPECT_EQ(budget.resident(), 0u);
+  EXPECT_EQ(budget.high_water(), 1200u);
+
+  util::MemoryBudget unlimited;
+  EXPECT_TRUE(unlimited.unlimited());
+  unlimited.charge(std::size_t{1} << 40);
+  EXPECT_FALSE(unlimited.over_budget());  // tracked, never enforced
+  EXPECT_EQ(unlimited.resident(), std::size_t{1} << 40);
+}
+
+TEST(MemoryBudget, TraceChunkChargesAreRaii) {
+  const std::size_t chunk_bytes = 16 * sizeof(net::CapturedPacket);
+  util::MemoryBudget budget(1 << 20);
+  {
+    net::TraceChunk chunk(16, &budget);
+    EXPECT_EQ(budget.resident(), chunk_bytes);
+    // Moving transfers the charge; it is never doubled or dropped.
+    net::TraceChunk moved = std::move(chunk);
+    EXPECT_EQ(budget.resident(), chunk_bytes);
+  }
+  EXPECT_EQ(budget.resident(), 0u);
+  EXPECT_EQ(budget.high_water(), chunk_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedTrace: lazy sealing keeps rollback reachable across boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkedTrace, LazySealingKeepsRollbackReachable) {
+  std::vector<std::vector<std::uint32_t>> sealed;
+  net::ChunkedTrace ct(2, [&sealed](net::TraceChunk&& c) {
+    std::vector<std::uint32_t> payloads;
+    for (const auto& p : c.packets()) payloads.push_back(p.payload_len);
+    sealed.push_back(std::move(payloads));
+  });
+  net::TraceBuilder builder(ct);
+  builder.begin_packet().payload_len = 1;
+  builder.begin_packet().payload_len = 2;
+  // The chunk is full but NOT yet emitted — rollback can still reach it.
+  EXPECT_TRUE(sealed.empty());
+  builder.rollback_last();
+  builder.begin_packet().payload_len = 3;  // refills the slot in place
+  builder.begin_packet().payload_len = 4;  // NOW the first chunk seals
+  ASSERT_EQ(sealed.size(), 1u);
+  EXPECT_EQ(sealed[0], (std::vector<std::uint32_t>{1, 3}));
+  ct.seal_open();
+  ASSERT_EQ(sealed.size(), 2u);
+  EXPECT_EQ(sealed[1], (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(ct.size(), 3u);
+}
+
+TEST(ChunkedTrace, RetainedModeRoundTripsThroughToTrace) {
+  const net::PacketTrace trace =
+      merged_trace(workload::cloud_storage_profile(), /*seed=*/2, 2);
+  ASSERT_GT(trace.size(), 0u);
+  const net::ChunkedTrace chunks = rechunk(trace, 7);
+  const net::PacketTrace back = chunks.to_trace();
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].timestamp.us(), trace[i].timestamp.us());
+    EXPECT_EQ(back[i].key, trace[i].key);
+    EXPECT_EQ(back[i].tcp.seq, trace[i].tcp.seq);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Budget enforcement: bounded, deterministic, and surfaced in stats.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetEnforcement, EvictionKeepsResidencyBoundedAndIsDeterministic) {
+  // Many interleaved small flows, analyzed under a budget far smaller than
+  // the trace: the pipeline must evict (not grow), keep the ledger under
+  // the cap, and produce the identical result on a second run.
+  net::PacketTrace trace;
+  {
+    Rng master(501);
+    const auto profile = workload::web_search_profile();
+    for (int f = 0; f < 24; ++f) {
+      Rng flow_rng = master.split();
+      const auto scenario = workload::draw_scenario(
+          profile, flow_rng, static_cast<std::uint64_t>(f + 1));
+      auto outcome = workload::run_flow(scenario, flow_rng.split(),
+                                        Duration::seconds(600.0),
+                                        workload::TraceCapture::kServerNic);
+      ASSERT_TRUE(outcome.trace.has_value());
+      for (const auto& p : outcome.trace->packets()) trace.add(p);
+    }
+    trace.sort_by_time();
+  }
+  const std::size_t trace_bytes = trace.size() * sizeof(net::CapturedPacket);
+  const std::size_t limit = trace_bytes / 4;
+  ASSERT_GT(limit, 16u * sizeof(net::CapturedPacket));
+
+  auto run_once = [&](LiveStats* stats) {
+    util::MemoryBudget budget(limit);
+    AnalysisResult r = analyze_via_streaming_pipeline(
+        trace, /*chunk_packets=*/64, &budget, stats);
+    EXPECT_LE(budget.high_water(), limit)
+        << "ledger peak must stay under the configured cap";
+    EXPECT_EQ(budget.resident(), 0u) << "everything released at flush";
+    return r;
+  };
+
+  LiveStats s1, s2;
+  const AnalysisResult first = run_once(&s1);
+  const AnalysisResult second = run_once(&s2);
+  EXPECT_GT(s1.budget_evictions, 0u) << "undersized budget must evict";
+  EXPECT_EQ(s1.budget_evictions, s2.budget_evictions);
+  EXPECT_EQ(s1.flows_finalized, s2.flows_finalized);
+  expect_same_result(first, second);
+  // Evicted-and-restarted flows still surface: nothing silently vanishes.
+  EXPECT_GE(first.flows.size(), 24u);
+}
+
+TEST(BudgetEnforcement, UnlimitedBudgetChangesNothing) {
+  const Analyzer analyzer;
+  const net::PacketTrace trace =
+      merged_trace(workload::software_download_profile(), /*seed=*/31, 3);
+  ASSERT_GT(trace.size(), 0u);
+  std::stringstream bytes;
+  pcap::write_stream(bytes, trace);
+  const net::PacketTrace reread = pcap::read_stream(bytes);
+  const AnalysisResult batch = analyzer.analyze(reread);
+
+  util::MemoryBudget budget;  // limit 0 = unlimited, still tracked
+  LiveStats stats;
+  const AnalysisResult streamed = analyze_via_streaming_pipeline(
+      trace, /*chunk_packets=*/64, &budget, &stats);
+  EXPECT_EQ(stats.budget_evictions, 0u);
+  EXPECT_GT(budget.high_water(), 0u);
+  EXPECT_EQ(budget.resident(), 0u);
+  expect_same_result(streamed, batch);
+}
+
+}  // namespace
+}  // namespace tapo::analysis

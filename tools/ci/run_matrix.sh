@@ -22,6 +22,10 @@
 #            record/sketch/window suites (corruption property tests under
 #            ASan), the fleet_scale merge-determinism harness, and the
 #            tapo_agg emit -> merge -> prometheus-validate smoke chain
+#   streaming  -fsanitize=address, `streaming`-labeled tests only: the
+#            chunked-vs-batch bit-equivalence suites plus the
+#            streaming_scale peak-residency gate, so the chunk-lifetime
+#            and budget-eviction paths run under ASan
 #
 
 # Each configuration gets its own build tree under build-ci/ so sanitizer
@@ -33,7 +37,7 @@ cd "$(dirname "$0")/../.."
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(lint default asan ubsan tsan robustness fleet)
+  CONFIGS=(lint default asan ubsan tsan robustness fleet streaming)
 fi
 
 build_and_test() {
@@ -70,6 +74,7 @@ for cfg in "${CONFIGS[@]}"; do
     tsan)    build_and_test tsan thread ;;
     robustness) build_and_test robustness address robustness ;;
     fleet)   build_and_test fleet address fleet ;;
+    streaming) build_and_test streaming address streaming ;;
     *)
       echo "unknown configuration: ${cfg}" >&2
       exit 2

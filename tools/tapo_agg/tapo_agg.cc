@@ -165,21 +165,12 @@ int run_merge(const std::vector<std::string>& args, const char* argv0) {
     } else if (auto p = flag_value(arg, "prom")) {
       prom_path = *p;
     } else if (auto d = flag_value(arg, "ingest-dir")) {
-      std::error_code ec;
-      std::vector<std::string> found;
-      for (const auto& entry :
-           std::filesystem::directory_iterator(*d, ec)) {
-        if (entry.path().extension() == ".tflr") {
-          found.push_back(entry.path().string());
-        }
-      }
-      if (ec) {
-        std::fprintf(stderr, "tapo_agg: cannot list %s: %s\n", d->c_str(),
-                     ec.message().c_str());
+      const fleet::ListResult listing = fleet::collect_record_files(*d);
+      if (!listing.ok()) {
+        std::fprintf(stderr, "tapo_agg: %s\n", listing.error.c_str());
         return 1;
       }
-      std::sort(found.begin(), found.end());
-      files.insert(files.end(), found.begin(), found.end());
+      files.insert(files.end(), listing.files.begin(), listing.files.end());
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "tapo_agg: unknown merge argument %s\n",
                    arg.c_str());

@@ -1,0 +1,13 @@
+// Fixture: trace-retain is exempt inside src/net/ — the trace/chunk layer
+// itself is the sanctioned home of arena retention (TraceBuilder's
+// attachment pointer, ChunkedTrace's open-chunk state).
+namespace tapo::net {
+
+class PacketTrace;
+
+class TraceBuilderLike {
+ private:
+  PacketTrace* trace_ = nullptr;  // fine here: the layer manages lifetime
+};
+
+}  // namespace tapo::net

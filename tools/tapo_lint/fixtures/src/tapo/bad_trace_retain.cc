@@ -1,0 +1,40 @@
+// Fixture: trace-retain — members holding a PacketTrace by pointer or
+// reference outside src/net/ can dangle once the streaming pipeline seals
+// or evicts the arena they point into.
+namespace tapo::analysis {
+
+class PacketTrace;  // stand-in for net::PacketTrace
+
+class DanglingCache {
+ public:
+  explicit DanglingCache(PacketTrace& t) : trace_(&t) {}
+
+ private:
+  PacketTrace* trace_;  // expect-lint: trace-retain
+};
+
+class DanglingConstView {
+ private:
+  const PacketTrace* source_ = nullptr;  // expect-lint: trace-retain
+};
+
+class DanglingRef {
+ private:
+  PacketTrace& backing_;  // expect-lint: trace-retain
+};
+
+class DocumentedBorrow {
+ private:
+  // The owner pins the trace for this object's whole lifetime (see the
+  // class contract above).
+  // tapo-lint: allow(trace-retain)
+  const PacketTrace* pinned_ = nullptr;
+};
+
+class OwnedOrLocalUses {
+ public:
+  // Parameters and locals don't outlive the call: no finding.
+  void scan(const PacketTrace& trace, PacketTrace* scratch);
+};
+
+}  // namespace tapo::analysis

@@ -50,6 +50,16 @@
 //                      endianness-dependent; persistent or wire data must
 //                      go through the fleet record codec (versioned +
 //                      CRC-framed) or the net/ packet codecs.
+//   trace-retain       A PacketTrace pointer/reference stored in a member
+//                      variable (trailing-underscore identifier) outside
+//                      src/net/. In the streaming pipeline the arena behind
+//                      such a pointer can be a sealed chunk or an evicted
+//                      flow that is gone by the time the member is used;
+//                      long-lived capture state must go through
+//                      net::TraceBuilder (which survives arena hand-offs)
+//                      or copy into an owned trace. Documented borrow-views
+//                      whose lifetime contract is explicit suppress with
+//                      tapo-lint: allow(trace-retain).
 //
 // Suppressions: a comment containing `tapo-lint: allow(<rule>)` disables
 // that rule on the same line and on the line directly below (so a
@@ -600,6 +610,45 @@ void rule_raw_struct_io(const FileText& f, std::vector<Finding>& out) {
   }
 }
 
+void rule_trace_retain(const FileText& f, std::vector<Finding>& out) {
+  // src/net/ is the trace/chunk layer itself: TraceBuilder's attachment
+  // pointer and ChunkedTrace's internals are the sanctioned retention
+  // points whose lifetimes the layer manages. Anywhere else, a member
+  // (trailing-underscore identifier) holding `PacketTrace*` or
+  // `PacketTrace&` can dangle once streaming seals/evicts the arena it
+  // points into. src/ only: tests and benches pin traces on the stack.
+  if (!path_contains(f.path, "src/") || path_contains(f.path, "src/net/")) {
+    return;
+  }
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    for (std::size_t pos = line.find("PacketTrace"); pos != std::string::npos;
+         pos = line.find("PacketTrace", pos + 1)) {
+      if (!word_at(line, pos, "PacketTrace")) continue;
+      std::size_t i = pos + std::string("PacketTrace").size();
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || (line[i] != '*' && line[i] != '&')) continue;
+      while (i < line.size() && (line[i] == '*' || line[i] == '&' ||
+                                 line[i] == ' ')) {
+        ++i;
+      }
+      const std::size_t id_start = i;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      if (i == id_start) continue;
+      const std::string id = line.substr(id_start, i - id_start);
+      if (id.back() != '_') continue;  // locals/parameters don't outlive
+      out.push_back(
+          {f.path, n + 1, "trace-retain",
+           "member `" + id +
+               "` retains a PacketTrace pointer/reference that can outlive "
+               "the chunk or flow arena backing it; hold a net::TraceBuilder "
+               "or copy into an owned trace, or document the borrow with "
+               "tapo-lint: allow(trace-retain)"});
+      break;  // one finding per line is enough
+    }
+  }
+}
+
 /// Rules suppressed on line `n` (0-based) via `tapo-lint: allow(<rule>)` on
 /// the same line or the line directly above.
 std::set<std::string> suppressions_for_line(const FileText& f, std::size_t n) {
@@ -637,6 +686,7 @@ std::vector<Finding> lint_file(const std::string& path) {
   rule_naked_parse(f, found);
   rule_config_mutation(f, found);
   rule_raw_struct_io(f, found);
+  rule_trace_retain(f, found);
 
   std::vector<Finding> kept;
   for (const auto& finding : found) {
