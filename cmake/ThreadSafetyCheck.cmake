@@ -1,0 +1,59 @@
+# Configure-time thread-safety probes (Clang-only).
+#
+# Two try_compile checks against the annotated mutex wrappers:
+#   guarded_ok.cc       correctly guarded access — must COMPILE under
+#                       -Wthread-safety -Werror=thread-safety
+#   unguarded_fail.cc   reads a TAPO_GUARDED_BY member without the lock —
+#                       must FAIL to compile under the same flags
+#
+# The negative probe is the important half: it proves the annotation
+# macros actually expand to Clang attributes and the analysis actually
+# rejects unguarded access. If TAPO_* ever degraded to no-ops under Clang
+# (a broken feature-detect in thread_annotations.h), the bad probe would
+# start compiling and configuration would fail loudly.
+#
+# Under non-Clang compilers the probes are meaningless (the annotations
+# are deliberate no-ops there), so they are skipped with a status note.
+function(tapo_thread_safety_checks)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(STATUS
+      "tapo: thread-safety try_compile probes skipped "
+      "(Clang-only; compiler is ${CMAKE_CXX_COMPILER_ID})")
+    return()
+  endif()
+
+  set(probe_flags "-DCMAKE_CXX_FLAGS=-Wthread-safety -Werror=thread-safety")
+  set(probe_includes "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src")
+
+  try_compile(TAPO_TS_GUARDED_OK
+    ${CMAKE_BINARY_DIR}/tapo_ts_guarded_ok
+    SOURCES ${CMAKE_SOURCE_DIR}/cmake/thread_safety/guarded_ok.cc
+    CMAKE_FLAGS ${probe_includes} ${probe_flags}
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE guarded_ok_output)
+  if(NOT TAPO_TS_GUARDED_OK)
+    message(FATAL_ERROR
+      "tapo: correctly guarded probe failed to compile under "
+      "-Werror=thread-safety; the annotations or wrappers are broken:\n"
+      "${guarded_ok_output}")
+  endif()
+
+  try_compile(TAPO_TS_UNGUARDED_COMPILED
+    ${CMAKE_BINARY_DIR}/tapo_ts_unguarded_fail
+    SOURCES ${CMAKE_SOURCE_DIR}/cmake/thread_safety/unguarded_fail.cc
+    CMAKE_FLAGS ${probe_includes} ${probe_flags}
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE unguarded_output)
+  if(TAPO_TS_UNGUARDED_COMPILED)
+    message(FATAL_ERROR
+      "tapo: unguarded access to a TAPO_GUARDED_BY member compiled under "
+      "-Werror=thread-safety; the annotation macros are not reaching the "
+      "compiler (check src/util/thread_annotations.h feature detection)")
+  endif()
+
+  message(STATUS
+    "tapo: thread-safety probes passed "
+    "(guarded code compiles, unguarded access rejected)")
+endfunction()

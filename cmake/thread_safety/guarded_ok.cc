@@ -1,0 +1,41 @@
+// Positive configure-time probe (cmake/ThreadSafetyCheck.cmake):
+// correctly guarded access through the annotated wrappers must compile
+// under -Wthread-safety -Werror=thread-safety.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void bump() TAPO_EXCLUDES(mu_) {
+    tapo::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int read() const TAPO_EXCLUDES(mu_) {
+    tapo::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void bump_locked() TAPO_REQUIRES(mu_) { ++value_; }
+
+  void bump_via_requires() TAPO_EXCLUDES(mu_) {
+    mu_.lock();
+    bump_locked();
+    mu_.unlock();
+  }
+
+ private:
+  mutable tapo::util::Mutex mu_;
+  int value_ TAPO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.bump();
+  g.bump_via_requires();
+  return g.read() == 2 ? 0 : 1;
+}

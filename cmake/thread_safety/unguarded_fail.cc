@@ -1,0 +1,26 @@
+// Negative configure-time probe (cmake/ThreadSafetyCheck.cmake): reading
+// a TAPO_GUARDED_BY member without holding its capability must FAIL to
+// compile under -Wthread-safety -Werror=thread-safety. If this file ever
+// compiles under Clang, the annotation macros are not reaching the
+// compiler and the whole static gate is inert.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // Deliberate violation: no lock held, no TAPO_REQUIRES declared.
+  int read_unguarded() const { return value_; }
+
+ private:
+  mutable tapo::util::Mutex mu_;
+  int value_ TAPO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  const Guarded g;
+  return g.read_unguarded();
+}

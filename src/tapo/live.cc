@@ -307,4 +307,52 @@ void LiveAnalyzer::flush() {
   }
 }
 
+// ------------------------------------------------- SharedLiveAnalyzer
+
+LiveConfig SharedLiveAnalyzer::rebind(LiveConfig config,
+                                      util::MemoryBudget* owned) {
+  if (config.mem_budget != nullptr) config.with_mem_budget(owned);
+  return config;
+}
+
+SharedLiveAnalyzer::SharedLiveAnalyzer(const LiveConfig& config,
+                                       FlowDoneFn on_flow_done)
+    : budget_(config.mem_budget != nullptr ? config.mem_budget->limit() : 0),
+      live_(rebind(config, &budget_), std::move(on_flow_done)) {}
+
+SharedLiveAnalyzer::SharedLiveAnalyzer(const LiveConfig& config,
+                                       FlowSink& sink)
+    : budget_(config.mem_budget != nullptr ? config.mem_budget->limit() : 0),
+      live_(rebind(config, &budget_), sink) {}
+
+void SharedLiveAnalyzer::add_packet(const net::CapturedPacket& pkt) {
+  util::MutexLock lock(mu_);
+  live_.add_packet(pkt);
+}
+
+void SharedLiveAnalyzer::add_chunk(const net::TraceChunk& chunk) {
+  util::MutexLock lock(mu_);
+  live_.add_chunk(chunk);
+}
+
+void SharedLiveAnalyzer::flush() {
+  util::MutexLock lock(mu_);
+  live_.flush();
+}
+
+LiveStats SharedLiveAnalyzer::stats() const {
+  util::MutexLock lock(mu_);
+  return live_.stats();
+}
+
+std::size_t SharedLiveAnalyzer::budget_resident() const {
+  util::MutexLock lock(mu_);
+  return budget_.resident();
+}
+
+std::size_t SharedLiveAnalyzer::budget_high_water() const {
+  util::MutexLock lock(mu_);
+  return budget_.high_water();
+}
+
 }  // namespace tapo::analysis

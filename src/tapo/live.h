@@ -25,6 +25,8 @@
 #include "tapo/analyzer.h"
 #include "tapo/sink.h"
 #include "util/memory_budget.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tapo::analysis {
 
@@ -154,6 +156,53 @@ class LiveAnalyzer {
   /// LRU order: front = least recently active.
   std::list<net::FlowKey> lru_;
   LiveStats stats_;
+};
+
+/// Thread-safe facade over LiveAnalyzer for multi-threaded capture: N
+/// ingest threads call add_packet()/add_chunk() concurrently while another
+/// thread polls stats(), all serialized by one annotated util::Mutex
+/// capability. LiveAnalyzer itself (and util::MemoryBudget, its ledger)
+/// stays deliberately single-threaded — one pipeline, one thread — so the
+/// facade owns a private MemoryBudget and rebinds the config's ledger
+/// pointer to it, making the budget's every charge/release/evict decision
+/// happen under the same capability as the flow table it bounds
+/// (TAPO_GUARDED_BY below is the compile-time form of that contract).
+///
+/// Callback caveat: on_flow_done / sink callbacks fire while the lock is
+/// held (finalization happens inside ingest). They must not call back into
+/// the same SharedLiveAnalyzer — the annotated API makes that re-entrance
+/// a -Wthread-safety error in any code path the analysis can see.
+class SharedLiveAnalyzer {
+ public:
+  using FlowDoneFn = LiveAnalyzer::FlowDoneFn;
+
+  /// Both constructors mirror LiveAnalyzer's. When `config.mem_budget` is
+  /// set, only its *limit* is taken: the facade charges an owned ledger
+  /// instead, so an external (unguarded) MemoryBudget is never shared
+  /// across the ingest threads.
+  SharedLiveAnalyzer(const LiveConfig& config, FlowDoneFn on_flow_done);
+  SharedLiveAnalyzer(const LiveConfig& config, FlowSink& sink);
+
+  void add_packet(const net::CapturedPacket& pkt) TAPO_EXCLUDES(mu_);
+  void add_chunk(const net::TraceChunk& chunk) TAPO_EXCLUDES(mu_);
+  /// Finalizes every remaining flow; call once, after ingest threads join.
+  void flush() TAPO_EXCLUDES(mu_);
+
+  /// Snapshot by value (the underlying stats mutate under the lock).
+  LiveStats stats() const TAPO_EXCLUDES(mu_);
+  /// Owned ledger readings (0 / high-water when no budget was configured).
+  std::size_t budget_resident() const TAPO_EXCLUDES(mu_);
+  std::size_t budget_high_water() const TAPO_EXCLUDES(mu_);
+
+ private:
+  /// Returns `config` with its ledger pointer rebound to `owned` (when a
+  /// budget was configured at all). Static so constructor member-init can
+  /// use it without touching guarded members outside the ctor exemption.
+  static LiveConfig rebind(LiveConfig config, util::MemoryBudget* owned);
+
+  mutable util::Mutex mu_;
+  util::MemoryBudget budget_ TAPO_GUARDED_BY(mu_);
+  LiveAnalyzer live_ TAPO_GUARDED_BY(mu_);
 };
 
 }  // namespace tapo::analysis

@@ -87,7 +87,7 @@ Registry::Entry& Registry::entry(const std::string& name,
                                  std::vector<Label> labels,
                                  MetricSample::Type type) {
   const std::string key = name + render_labels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     Entry e;
@@ -118,7 +118,7 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 std::vector<MetricSample> Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [key, e] : entries_) {
@@ -227,7 +227,7 @@ void Registry::export_json(std::ostream& os) const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [key, e] : entries_) {
     switch (e.type) {
       case MetricSample::Type::kCounter: e.counter->reset(); break;

@@ -19,11 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tapo::telemetry {
 
@@ -49,6 +51,8 @@ class Counter {
   void reset();
 
  private:
+  // lock-free: per-thread-striped relaxed cells; value() sums them and is
+  // exact once recording threads are quiescent (the exporters' contract).
   std::array<detail::PaddedCell, detail::kCells> cells_;
 };
 
@@ -60,6 +64,8 @@ class Gauge {
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
+  // lock-free: last-writer-wins gauge; a single relaxed cell is the whole
+  // consistency story (no read-modify-write races worth ordering).
   std::atomic<double> value_{0.0};
 };
 
@@ -100,20 +106,23 @@ class Registry {
   /// Registers (or finds) a metric. References stay valid for the process
   /// lifetime; cache them at the call site:
   ///   static auto& c = Registry::instance().counter("tapo_x_total");
-  Counter& counter(const std::string& name, std::vector<Label> labels = {});
-  Gauge& gauge(const std::string& name, std::vector<Label> labels = {});
-  Histogram& histogram(const std::string& name, std::vector<Label> labels = {});
+  Counter& counter(const std::string& name, std::vector<Label> labels = {})
+      TAPO_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, std::vector<Label> labels = {})
+      TAPO_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name, std::vector<Label> labels = {})
+      TAPO_EXCLUDES(mu_);
 
-  std::vector<MetricSample> snapshot() const;
+  std::vector<MetricSample> snapshot() const TAPO_EXCLUDES(mu_);
 
   /// Prometheus text exposition format (one # TYPE line per family).
-  void export_prometheus(std::ostream& os) const;
+  void export_prometheus(std::ostream& os) const TAPO_EXCLUDES(mu_);
   /// {"metrics":[{name, labels, type, value | buckets}...]}
-  void export_json(std::ostream& os) const;
+  void export_json(std::ostream& os) const TAPO_EXCLUDES(mu_);
 
   /// Zeroes every metric value. Never deletes metrics, so references
   /// cached by instrumentation sites stay valid.
-  void reset();
+  void reset() TAPO_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -127,10 +136,14 @@ class Registry {
 
   Registry() = default;
   Entry& entry(const std::string& name, std::vector<Label> labels,
-               MetricSample::Type type);
+               MetricSample::Type type) TAPO_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  // key = name + rendered labels
+  /// Guards the registration map only. The Counter/Gauge/Histogram cells
+  /// behind the returned references are intentionally lock-free (striped
+  /// relaxed atomics — see the header comment's cost model); entries are
+  /// never deleted, so a reference escapes the lock safely.
+  mutable util::Mutex mu_;
+  std::map<std::string, Entry> entries_ TAPO_GUARDED_BY(mu_);
 };
 
 }  // namespace tapo::telemetry

@@ -107,12 +107,12 @@ void Tracer::set_enabled(bool on) {
 }
 
 void Tracer::set_shard_capacity(std::size_t events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   capacity_ = std::max<std::size_t>(events, 16);
 }
 
 std::size_t Tracer::shard_capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return capacity_;
 }
 
@@ -127,7 +127,7 @@ Tracer::Shard* Tracer::shard_for_this_thread() {
   if (t_shard_cache.shard != nullptr && t_shard_cache.epoch == epoch) {
     return static_cast<Shard*>(t_shard_cache.shard);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto shard = std::make_unique<Shard>();
   shard->cap = capacity_;
   shard->ring.reserve(capacity_);
@@ -158,7 +158,7 @@ void Tracer::record(EventKind kind, std::int64_t ts_us, std::uint64_t a,
 }
 
 std::uint32_t Tracer::begin_run(const std::string& label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   run_labels_.push_back(label);
   return static_cast<std::uint32_t>(run_labels_.size());
 }
@@ -166,7 +166,7 @@ std::uint32_t Tracer::begin_run(const std::string& label) {
 std::vector<TraceEvent> Tracer::collect() const {
   std::vector<TraceEvent> all;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& shard : shards_) {
       all.insert(all.end(), shard->ring.begin(), shard->ring.end());
     }
@@ -179,7 +179,7 @@ std::vector<TraceEvent> Tracer::collect() const {
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::uint64_t dropped = 0;
   for (const auto& shard : shards_) {
     dropped += shard->recorded - shard->ring.size();
@@ -188,7 +188,7 @@ std::uint64_t Tracer::dropped() const {
 }
 
 void Tracer::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   shards_.clear();
   run_labels_.clear();
@@ -234,7 +234,7 @@ void Tracer::export_chrome_trace(std::ostream& os) const {
   const auto events = collect();
   std::vector<std::string> labels;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     labels = run_labels_;
   }
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";

@@ -22,12 +22,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "telemetry/events.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tapo::telemetry {
 
@@ -49,8 +50,8 @@ class Tracer {
   std::uint64_t sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
 
   /// Ring capacity (events) for shards created after the call.
-  void set_shard_capacity(std::size_t events);
-  std::size_t shard_capacity() const;
+  void set_shard_capacity(std::size_t events) TAPO_EXCLUDES(mu_);
+  std::size_t shard_capacity() const TAPO_EXCLUDES(mu_);
 
   /// True when an event of `kind` would be recorded on this thread right
   /// now (enabled + category on + current flow sampled).
@@ -64,22 +65,22 @@ class Tracer {
   /// Registers a run (e.g. one ParallelRunner invocation) and returns its
   /// id, used as the pid in Chrome-trace output. `label` becomes the
   /// process name ("web search", ...).
-  std::uint32_t begin_run(const std::string& label);
+  std::uint32_t begin_run(const std::string& label) TAPO_EXCLUDES(mu_);
 
   /// All buffered events, merged across shards, ordered by (flow, ts).
-  std::vector<TraceEvent> collect() const;
-  std::uint64_t dropped() const;
+  std::vector<TraceEvent> collect() const TAPO_EXCLUDES(mu_);
+  std::uint64_t dropped() const TAPO_EXCLUDES(mu_);
 
   /// {"traceEvents": [...]} — loads in chrome://tracing and Perfetto.
   /// Stall spans render as duration ("X") slices named by root cause; cwnd
   /// changes as counter ("C") tracks; everything else as instants.
-  void export_chrome_trace(std::ostream& os) const;
+  void export_chrome_trace(std::ostream& os) const TAPO_EXCLUDES(mu_);
   /// One JSON object per line, one line per event.
-  void export_jsonl(std::ostream& os) const;
+  void export_jsonl(std::ostream& os) const TAPO_EXCLUDES(mu_);
 
   /// Drops all buffered events, run labels, and drop counts. Shards are
   /// recycled, not freed, so recording threads re-register lazily.
-  void reset();
+  void reset() TAPO_EXCLUDES(mu_);
 
  private:
   struct Shard {
@@ -90,17 +91,24 @@ class Tracer {
   };
 
   Tracer() = default;
-  Shard* shard_for_this_thread();
+  Shard* shard_for_this_thread() TAPO_EXCLUDES(mu_);
 
+  // lock-free: recording-path gates — one relaxed load each on the hot
+  // path; a stale value only delays an enable/sample-rate change by one
+  // event, it never corrupts state.
   std::atomic<bool> enabled_{false};
   std::atomic<unsigned> categories_{kControl | kLifecycle};
   std::atomic<std::uint64_t> sample_every_{1};
-  std::atomic<std::uint64_t> epoch_{1};  // bumped by reset()
+  // lock-free: reset() epoch; recording threads compare it (acquire) to
+  // invalidate their cached shard pointer. Bumped only under mu_.
+  std::atomic<std::uint64_t> epoch_{1};
 
-  mutable std::mutex mu_;  // guards shards_ vector, run_labels_, capacity_
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::string> run_labels_;  // index = run id - 1
-  std::size_t capacity_ = 1 << 16;
+  /// Guards the shard *registry*; each Shard's contents are owned by the
+  /// registering thread until it quiesces (the collect()/export contract).
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_ TAPO_GUARDED_BY(mu_);
+  std::vector<std::string> run_labels_ TAPO_GUARDED_BY(mu_);  // run id - 1
+  std::size_t capacity_ TAPO_GUARDED_BY(mu_) = 1 << 16;
 };
 
 /// RAII marker: events recorded by this thread while the scope is alive are

@@ -1,0 +1,66 @@
+// Portable Clang thread-safety-analysis annotations.
+//
+// The locking discipline of every concurrent component (WorkerPool, the
+// telemetry Tracer/Registry, the runner's ordered merge, the shared live
+// analyzer, the fleet aggregator) is declared with these macros so that a
+// Clang build with -Wthread-safety -Werror=thread-safety turns a missing
+// lock into a compile error instead of a comment violation. Under any
+// other compiler (or Clang without the attribute) every macro expands to
+// nothing, so the annotations cost zero and gate nothing outside the
+// dedicated `thread-safety` CI configuration (tools/ci/run_matrix.sh).
+//
+// Vocabulary (mirrors the Clang attribute set one-to-one):
+//   TAPO_CAPABILITY(name)      class is a lockable capability ("mutex")
+//   TAPO_SCOPED_CAPABILITY     RAII type that acquires in its constructor
+//                              and releases in its destructor (MutexLock)
+//   TAPO_GUARDED_BY(mu)        data member readable/writable only with mu
+//   TAPO_PT_GUARDED_BY(mu)     pointer member whose *pointee* needs mu
+//   TAPO_ACQUIRE(...)          function acquires the capability and does
+//                              not release it before returning
+//   TAPO_RELEASE(...)          function releases the capability
+//   TAPO_REQUIRES(...)         caller must hold the capability across the
+//                              call (held on entry AND on exit — the shape
+//                              a condition-variable wait declares)
+//   TAPO_EXCLUDES(...)         caller must NOT hold the capability (the
+//                              function takes it itself; deadlock guard)
+//   TAPO_TRY_ACQUIRE(b, ...)   acquires only when returning `b`
+//   TAPO_ASSERT_CAPABILITY(x)  runtime assertion that x is held
+//   TAPO_RETURN_CAPABILITY(x)  function returns a reference to capability x
+//   TAPO_NO_THREAD_SAFETY_ANALYSIS  opt a function out (init/teardown code
+//                              that is single-threaded by construction);
+//                              every use must say why in a comment
+//
+// Intentionally lock-free state (the telemetry fast paths, WorkerPool's
+// work-stealing cursor) carries no annotation; the convention there is a
+// `// lock-free:` comment on the member stating the ordering argument, so
+// a reader can tell "analyzed and guarded" from "analyzed and deliberately
+// atomic" at a glance. See DESIGN.md §15 for the capability map.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TAPO_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef TAPO_THREAD_ANNOTATION__
+#define TAPO_THREAD_ANNOTATION__(x)  // not Clang: annotations are no-ops
+#endif
+
+#define TAPO_CAPABILITY(x) TAPO_THREAD_ANNOTATION__(capability(x))
+#define TAPO_SCOPED_CAPABILITY TAPO_THREAD_ANNOTATION__(scoped_lockable)
+#define TAPO_GUARDED_BY(x) TAPO_THREAD_ANNOTATION__(guarded_by(x))
+#define TAPO_PT_GUARDED_BY(x) TAPO_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define TAPO_ACQUIRE(...) \
+  TAPO_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define TAPO_RELEASE(...) \
+  TAPO_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define TAPO_REQUIRES(...) \
+  TAPO_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define TAPO_EXCLUDES(...) TAPO_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define TAPO_TRY_ACQUIRE(...) \
+  TAPO_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TAPO_ASSERT_CAPABILITY(x) \
+  TAPO_THREAD_ANNOTATION__(assert_capability(x))
+#define TAPO_RETURN_CAPABILITY(x) TAPO_THREAD_ANNOTATION__(lock_returned(x))
+#define TAPO_NO_THREAD_SAFETY_ANALYSIS \
+  TAPO_THREAD_ANNOTATION__(no_thread_safety_analysis)

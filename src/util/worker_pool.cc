@@ -22,7 +22,7 @@ WorkerPool::WorkerPool(std::size_t threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -30,7 +30,7 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::for_each(std::size_t count, const Task& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   task_ = &fn;
   count_ = count;
   // tapo-lint: allow(relaxed-atomic) — publication ordered by the mutex
@@ -40,7 +40,7 @@ void WorkerPool::for_each(std::size_t count, const Task& fn) {
   error_ = nullptr;
   ++generation_;
   cv_work_.notify_all();
-  cv_done_.wait(lock, [this] { return active_ == 0; });
+  while (active_ != 0) cv_done_.wait(mu_);
   task_ = nullptr;
   if (error_) std::rethrow_exception(error_);
 }
@@ -51,8 +51,8 @@ void WorkerPool::worker_main(std::size_t id) {
     const Task* task = nullptr;
     std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) cv_work_.wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       task = task_;
@@ -68,7 +68,7 @@ void WorkerPool::worker_main(std::size_t id) {
       try {
         (*task)(i, id);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!error_) error_ = std::current_exception();
         // Fast-forward the cursor so every worker abandons the job.
         // tapo-lint: allow(relaxed-atomic) — best-effort cancel; mutex above
@@ -77,10 +77,15 @@ void WorkerPool::worker_main(std::size_t id) {
       busy += seconds_since(t0);
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     busy_s_[id] = busy;
     if (--active_ == 0) cv_done_.notify_all();
   }
+}
+
+std::vector<double> WorkerPool::busy_seconds() const {
+  MutexLock lock(mu_);
+  return busy_s_;
 }
 
 std::size_t WorkerPool::hardware_threads() {

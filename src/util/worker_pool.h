@@ -7,16 +7,21 @@
 // dispatches `fn(index, worker)` over [0, count) via an atomic cursor, so
 // scheduling is dynamic (fast workers steal the tail) while results stay
 // deterministic as long as `fn` depends only on `index`.
+//
+// Locking discipline (checked by -Wthread-safety under Clang): every piece
+// of job state is TAPO_GUARDED_BY(mu_); the only lock-free member is the
+// work-stealing cursor, whose ordering argument lives on its declaration.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tapo::util {
 
@@ -40,11 +45,13 @@ class WorkerPool {
   /// indices finish. If a task throws, the first exception is rethrown
   /// here and remaining indices are abandoned. Not reentrant: one job at
   /// a time per pool.
-  void for_each(std::size_t count, const Task& fn);
+  void for_each(std::size_t count, const Task& fn) TAPO_EXCLUDES(mu_);
 
   /// Per-worker seconds spent inside `fn` during the last for_each — the
-  /// numerator of a utilization figure (busy / (workers * wall)).
-  const std::vector<double>& busy_seconds() const { return busy_s_; }
+  /// numerator of a utilization figure (busy / (workers * wall)). Returns
+  /// a copy taken under the pool lock, so it is safe to call while the
+  /// next job runs (the figures are then mid-update, but never torn).
+  std::vector<double> busy_seconds() const TAPO_EXCLUDES(mu_);
 
   /// max(1, std::thread::hardware_concurrency()).
   static std::size_t hardware_threads();
@@ -52,19 +59,22 @@ class WorkerPool {
  private:
   void worker_main(std::size_t id);
 
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // written only in the constructor
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  const Task* task_ = nullptr;     // valid while a job is live
-  std::size_t count_ = 0;          // indices in the live job
+  mutable Mutex mu_;
+  CondVar cv_work_;
+  CondVar cv_done_;
+  const Task* task_ TAPO_GUARDED_BY(mu_) = nullptr;  // valid while a job runs
+  std::size_t count_ TAPO_GUARDED_BY(mu_) = 0;  // indices in the live job
+  // lock-free: pure work-stealing cursor — each fetch_add claims a distinct
+  // index and no other state is published through it; the job's inputs are
+  // ordered by mu_ and the results by the per-index task itself.
   std::atomic<std::size_t> next_{0};
-  std::size_t active_ = 0;         // workers still draining the live job
-  std::uint64_t generation_ = 0;   // bumped per job to wake workers
-  bool stop_ = false;
-  std::vector<double> busy_s_;
-  std::exception_ptr error_;
+  std::size_t active_ TAPO_GUARDED_BY(mu_) = 0;  // workers still draining
+  std::uint64_t generation_ TAPO_GUARDED_BY(mu_) = 0;  // bumped per job
+  bool stop_ TAPO_GUARDED_BY(mu_) = false;
+  std::vector<double> busy_s_ TAPO_GUARDED_BY(mu_);
+  std::exception_ptr error_ TAPO_GUARDED_BY(mu_);
 };
 
 }  // namespace tapo::util

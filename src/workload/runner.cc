@@ -4,11 +4,10 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 
 #include "telemetry/telemetry.h"
+#include "util/mutex.h"
 #include "util/worker_pool.h"
 
 namespace tapo::workload {
@@ -60,9 +59,13 @@ RunStats ParallelRunner::run(FlowSink& sink) {
   // Ordered merge: completed flows park here until every lower index has
   // been handed to the sink. Workers also gate on the emission window
   // before simulating, so one slow flow cannot make the buffer (and the
-  // parked traces/analyses) grow without bound.
-  std::mutex merge_mu;
-  std::condition_variable window_cv;
+  // parked traces/analyses) grow without bound. merge_mu is the capability
+  // guarding pending/next_to_emit and serializing the sink (locals cannot
+  // carry TAPO_GUARDED_BY, so the guarded set is documented here; the
+  // annotated util::MutexLock still makes every acquisition visible to
+  // -Wthread-safety).
+  util::Mutex merge_mu;
+  util::CondVar window_cv;
   std::map<std::size_t, FlowResult> pending;
   std::size_t next_to_emit = 0;
   const std::size_t window = 8 * threads;
@@ -81,10 +84,10 @@ RunStats ParallelRunner::run(FlowSink& sink) {
   auto task = [&](std::size_t i, std::size_t worker) {
     const telemetry::FlowScope flow_scope((run_id << 32) | i);
     if (threads > 1) {
-      std::unique_lock<std::mutex> lock(merge_mu);
+      util::MutexLock lock(merge_mu);
       // Never blocks the worker holding the lowest outstanding index, so
       // the window always drains.
-      window_cv.wait(lock, [&] { return i < next_to_emit + window; });
+      while (i >= next_to_emit + window) window_cv.wait(merge_mu);
     }
 
     PhaseAccum& acc = phase[worker];
@@ -128,7 +131,7 @@ RunStats ParallelRunner::run(FlowSink& sink) {
                    (acc.generate + acc.simulate + acc.analyze) * 1e6),
                result.packets, result.analyses.size());
 
-    std::lock_guard<std::mutex> lock(merge_mu);
+    util::MutexLock lock(merge_mu);
     const int entrants = merge_entrants.fetch_add(1, std::memory_order_acq_rel);
     assert(entrants == 0 && "FlowSink/progress serialization violated");
     (void)entrants;

@@ -1,0 +1,71 @@
+#pragma once
+// One home for test-thread synchronization: a single-use Latch (start gate
+// / completion count) and a reusable Barrier (round rendezvous), built on
+// the annotated util::Mutex / util::CondVar so the helpers themselves
+// compile clean under -Wthread-safety. Tests that spawn threads should
+// coordinate through these instead of ad-hoc sleeps or bare flags — a
+// sleep-based "gate" starts threads at best approximately and turns every
+// scheduler hiccup into a flake.
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace tapo::test {
+
+/// Single-use countdown. Two idioms:
+///   start gate:  Latch start(1); workers start.wait(); main count_down()
+///   completion:  Latch done(kN); workers done.count_down(); main wait()
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down() TAPO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void wait() TAPO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (count_ != 0) cv_.wait(mu_);
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::size_t count_ TAPO_GUARDED_BY(mu_);
+};
+
+/// Reusable rendezvous: every call blocks until `parties` threads have
+/// arrived, then all are released and the barrier resets for the next
+/// round (generation counter, so a fast thread re-arriving cannot slip
+/// through the previous round's wakeup).
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void arrive_and_wait() TAPO_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    while (generation_ == my_generation) cv_.wait(mu_);
+  }
+
+ private:
+  const std::size_t parties_;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::size_t arrived_ TAPO_GUARDED_BY(mu_) = 0;
+  std::size_t generation_ TAPO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tapo::test

@@ -23,6 +23,8 @@
 #include "workload/experiment.h"
 #include "workload/runner.h"
 
+#include "support/sync.h"
+
 namespace tapo {
 namespace {
 
@@ -238,12 +240,17 @@ TEST(TelemetryNames, MirrorAnalysisToString) {
 TEST(TelemetryRegistry, CounterSumsAcrossThreads) {
   auto& counter = Registry::instance().counter("ttest_mt_total");
   counter.reset();
+  // Start gate (tests/support/sync.h) so the adds genuinely contend
+  // instead of the first thread finishing before the last one spawns.
+  test::Latch start(1);
   std::vector<std::thread> workers;
   for (int t = 0; t < 4; ++t) {
-    workers.emplace_back([&counter] {
+    workers.emplace_back([&counter, &start] {
+      start.wait();
       for (int i = 0; i < 1000; ++i) counter.add(1);
     });
   }
+  start.count_down();
   for (auto& w : workers) w.join();
   EXPECT_EQ(counter.value(), 4000u);
 }

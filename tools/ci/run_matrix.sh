@@ -13,7 +13,17 @@
 #   asan     -fsanitize=address, full ctest
 #   ubsan    -fsanitize=undefined, full ctest
 #   tsan     -fsanitize=thread, full ctest (includes the runner_parallel_tsan
-#            and telemetry_tsan race-check entries)
+#            and telemetry_tsan race-check entries), then an explicit
+#            `concurrency`-labeled pass: the annotated-mutex API tests and
+#            the Registry/SharedLiveAnalyzer/FleetAggregator lock-contention
+#            stress suites race-checked under TSan
+#   thread-safety  Clang-only static gate: builds with clang++ and
+#            -DTAPO_THREAD_SAFETY=ON (-Wthread-safety -Werror=thread-safety
+#            over the TAPO_* capability annotations, plus the configure-time
+#            positive/negative try_compile probes), then runs the
+#            `concurrency` label. Skipped loudly when clang++ is not
+#            installed — unless CI is set, where missing clang++ is a hard
+#            failure instead of a silent skip
 #   robustness  -fsanitize=address, `robustness`-labeled tests only: the
 #            capture-channel/degradation suites plus the differential
 #            stability harness (bench/robustness_stability.cc), so fault
@@ -37,7 +47,7 @@ cd "$(dirname "$0")/../.."
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(lint default asan ubsan tsan robustness fleet streaming)
+  CONFIGS=(lint default asan ubsan tsan thread-safety robustness fleet streaming)
 fi
 
 build_and_test() {
@@ -71,7 +81,35 @@ for cfg in "${CONFIGS[@]}"; do
     default) build_and_test default "" ;;
     asan)    build_and_test asan address ;;
     ubsan)   build_and_test ubsan undefined ;;
-    tsan)    build_and_test tsan thread ;;
+    tsan)
+      build_and_test tsan thread
+      # The full sweep above already ran every test instrumented; this
+      # labeled pass gives CI one stable race-check gate to point at.
+      echo "=== [tsan] ctest -L concurrency ==="
+      ctest --test-dir build-ci/tsan --output-on-failure -j "${JOBS}" \
+        -L concurrency
+      ;;
+    thread-safety)
+      dir="build-ci/thread-safety"
+      if command -v clang++ >/dev/null 2>&1; then
+        echo "=== [thread-safety] configure (clang++, -Werror=thread-safety) ==="
+        cmake -B "${dir}" -S . -DCMAKE_CXX_COMPILER=clang++ \
+          -DTAPO_THREAD_SAFETY=ON -DTAPO_WERROR=ON
+        echo "=== [thread-safety] build ==="
+        cmake --build "${dir}" -j "${JOBS}"
+        echo "=== [thread-safety] ctest -L concurrency ==="
+        ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+          -L concurrency
+      elif [ -n "${CI:-}" ]; then
+        echo "FATAL: thread-safety config needs clang++ but it is not" \
+          "installed and CI is set; the static gate cannot run" >&2
+        exit 1
+      else
+        echo "=== [thread-safety] SKIPPED: clang++ not found (the" \
+          "-Wthread-safety analysis is Clang-only; install clang to run" \
+          "this configuration locally) ==="
+      fi
+      ;;
     robustness) build_and_test robustness address robustness ;;
     fleet)   build_and_test fleet address fleet ;;
     streaming) build_and_test streaming address streaming ;;

@@ -1,0 +1,24 @@
+#pragma once
+// Fixture: properly annotated shared state — the mutex member is
+// referenced by TAPO_GUARDED_BY/TAPO_EXCLUDES and only the annotated
+// wrappers are used, so no finding may fire here.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class GuardedCounter {
+ public:
+  void add(std::uint64_t n) TAPO_EXCLUDES(mu_);
+  std::uint64_t total() const TAPO_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  std::uint64_t total_ TAPO_GUARDED_BY(mu_) = 0;
+};
+
+inline void touch(GuardedCounter& c) { c.add(1); }
+
+}  // namespace fixture

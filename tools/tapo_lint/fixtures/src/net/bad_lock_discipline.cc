@@ -1,0 +1,28 @@
+// Fixture: raw standard-library lock primitives outside util/. Everything
+// here must go through the annotated util::Mutex / util::MutexLock /
+// util::CondVar wrappers instead so -Wthread-safety sees the acquisition.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+int counter;
+
+int bump() {
+  static std::mutex mu;                  // expect-lint: lock-discipline
+  std::lock_guard<std::mutex> lock(mu);  // expect-lint: lock-discipline
+  return ++counter;
+}
+
+void wait_ready(std::condition_variable& cv,       // expect-lint: lock-discipline
+                std::unique_lock<std::mutex>& lk)  // expect-lint: lock-discipline
+{
+  cv.wait(lk);
+}
+
+int drain(std::mutex& a, std::mutex& b) {  // expect-lint: lock-discipline
+  std::scoped_lock lock(a, b);             // expect-lint: lock-discipline
+  return counter;
+}
+
+}  // namespace fixture

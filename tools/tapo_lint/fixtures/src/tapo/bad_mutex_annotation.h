@@ -1,0 +1,35 @@
+#pragma once
+// Fixture: mutex-typed members that no thread-safety annotation in the
+// class references, next to properly guarded ones.
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+// No annotation anywhere references mu_: the capability guards nothing the
+// analysis can check.
+class UnguardedCache {
+ public:
+  void put(std::size_t v);
+  std::size_t get() const;
+
+ private:
+  mutable util::Mutex mu_;  // expect-lint: mutex-annotation
+  std::size_t value_ = 0;
+};
+
+// mu_ is referenced (TAPO_EXCLUDES + TAPO_GUARDED_BY) but flush_mu_ is an
+// orphan capability.
+class HalfGuarded {
+ public:
+  void put(std::size_t v) TAPO_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  util::Mutex flush_mu_;  // expect-lint: mutex-annotation
+  std::size_t value_ TAPO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

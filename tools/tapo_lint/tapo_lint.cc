@@ -1,6 +1,13 @@
 // tapo_lint — project-specific static checks the type system alone cannot
 // express, as a single self-contained token-level pass (no libclang).
 //
+// v2 is symbol-aware: before the per-line rules run, a structural pass
+// builds a per-class member table (class spans by brace depth, mutex-typed
+// members, and the capability names referenced by TAPO_* thread-safety
+// annotations anywhere in the class body). Rules that need to know "which
+// class am I in" and "what does it guard" consume that table instead of
+// squinting at single lines.
+//
 // Rules (see DESIGN.md "Static analysis & invariants" for rationale):
 //
 //   seq-compare        Relational operators (< > <= >=) applied to an
@@ -60,6 +67,27 @@
 //                      or copy into an owned trace. Documented borrow-views
 //                      whose lifetime contract is explicit suppress with
 //                      tapo-lint: allow(trace-retain).
+//   mutex-annotation   A class in src/ (outside src/util/, the annotated
+//                      wrapper's home) declares a mutex-typed member that
+//                      no TAPO_GUARDED_BY / TAPO_REQUIRES / TAPO_ACQUIRE /
+//                      TAPO_EXCLUDES / ... annotation in the class body
+//                      references. An unreferenced capability guards
+//                      nothing -Wthread-safety can check: the lock exists
+//                      but the invariant it protects was never written
+//                      down.
+//   lock-discipline    Raw std::mutex / std::lock_guard / std::unique_lock
+//                      / std::scoped_lock / std::condition_variable outside
+//                      util/ paths. Everything else must go through the
+//                      annotated util::Mutex / util::MutexLock / util::
+//                      CondVar (src/util/mutex.h) so Clang's thread-safety
+//                      analysis sees every acquisition.
+//   stale-allow        A `tapo-lint: allow(<rule>)` pragma that suppresses
+//                      nothing — the named rule does not fire on that line
+//                      or the line below — or that names a rule this
+//                      linter does not have. Dead suppressions rot: the
+//                      next real finding on that line would be silently
+//                      swallowed. stale-allow findings are themselves
+//                      unsuppressable.
 //
 // Suppressions: a comment containing `tapo-lint: allow(<rule>)` disables
 // that rule on the same line and on the line directly below (so a
@@ -72,12 +100,16 @@
 //   tapo_lint --self-test <dir>    fixture mode: every `// expect-lint: r`
 //                                  annotation must produce finding r on
 //                                  that line, and no unannotated finding
-//                                  may appear; exit 1 on any mismatch.
+//                                  may appear. Prints a one-line per-rule
+//                                  coverage summary and fails if any
+//                                  registered rule has no bad fixture
+//                                  exercising it; exit 1 on any mismatch.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -334,6 +366,180 @@ bool is_template_closer(const std::string& line, std::size_t pos) {
   return false;
 }
 
+// --------------------------------------------------- class/member table
+
+bool word_at(const std::string& line, std::size_t pos,
+             const std::string& word) {
+  if (line.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(line[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < line.size() && is_ident_char(line[end])) return false;
+  return true;
+}
+
+/// One class/struct definition found by the structural pass.
+struct ClassInfo {
+  std::string name;
+  int body_depth = 0;  // brace depth inside the class body
+  /// Mutex-typed members: {identifier, 0-based declaration line}.
+  std::vector<std::pair<std::string, std::size_t>> mutex_members;
+  /// Every identifier referenced inside a TAPO_* thread-safety annotation
+  /// argument list anywhere in the class body (mu_, other.mu_, ...).
+  std::set<std::string> annotation_refs;
+};
+
+/// Symbol tables built once per file, shared by every symbol-aware rule.
+struct FileAnalysis {
+  FileText text;
+  std::vector<ClassInfo> classes;
+};
+
+/// Records a mutex-typed member declared on `line` (a line whose start sits
+/// at the class's body depth): optional `mutable`, a mutex type, one
+/// identifier, and a terminating ';'. Pointer/reference members are skipped
+/// — a borrowed mutex is annotated where it lives.
+void scan_mutex_member(const std::string& line, std::size_t n,
+                       ClassInfo& cls) {
+  std::size_t i = line.find_first_not_of(' ');
+  if (i == std::string::npos) return;
+  if (word_at(line, i, "mutable")) {
+    i += std::string("mutable").size();
+    while (i < line.size() && line[i] == ' ') ++i;
+  }
+  static const std::vector<std::string> kTypes = {
+      "std::mutex",        "std::timed_mutex", "std::recursive_mutex",
+      "std::shared_mutex", "util::Mutex",      "Mutex"};
+  for (const auto& type : kTypes) {
+    if (line.compare(i, type.size(), type) != 0) continue;
+    std::size_t j = i + type.size();
+    if (j >= line.size() || line[j] != ' ') continue;  // Mutex& / MutexLock
+    while (j < line.size() && line[j] == ' ') ++j;
+    const std::size_t id_start = j;
+    while (j < line.size() && is_ident_char(line[j])) ++j;
+    if (j == id_start) continue;
+    if (line.find(';', j) == std::string::npos) continue;  // not a decl
+    cls.mutex_members.push_back({line.substr(id_start, j - id_start), n});
+    return;
+  }
+}
+
+/// Adds every identifier inside a TAPO_*(...) annotation argument list on
+/// `line` to the class's reference set.
+void collect_annotation_refs(const std::string& line, ClassInfo& cls) {
+  static const std::vector<std::string> kMacros = {
+      "TAPO_GUARDED_BY",  "TAPO_PT_GUARDED_BY",     "TAPO_REQUIRES",
+      "TAPO_ACQUIRE",     "TAPO_RELEASE",           "TAPO_EXCLUDES",
+      "TAPO_TRY_ACQUIRE", "TAPO_ASSERT_CAPABILITY", "TAPO_RETURN_CAPABILITY"};
+  for (const auto& mac : kMacros) {
+    for (std::size_t pos = line.find(mac); pos != std::string::npos;
+         pos = line.find(mac, pos + 1)) {
+      if (!word_at(line, pos, mac)) continue;
+      std::size_t i = pos + mac.size();
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '(') continue;
+      int depth = 0;
+      for (; i < line.size(); ++i) {
+        if (line[i] == '(') {
+          ++depth;
+        } else if (line[i] == ')') {
+          if (--depth == 0) break;
+        } else if (is_ident_char(line[i])) {
+          const std::size_t s = i;
+          while (i + 1 < line.size() && is_ident_char(line[i + 1])) ++i;
+          cls.annotation_refs.insert(line.substr(s, i - s + 1));
+        }
+      }
+    }
+  }
+}
+
+/// Structural pass: tracks brace depth line by line and collects every
+/// class/struct definition with its mutex members and annotation
+/// references. Token-level like everything else here — template parameter
+/// lists (`template <class T>`) and enum classes are recognized and
+/// skipped; pathological constructs a real frontend would need are out of
+/// scope for this codebase's style.
+std::vector<ClassInfo> build_class_table(const FileText& f) {
+  std::vector<ClassInfo> done;
+  std::vector<ClassInfo> stack;
+  int depth = 0;
+  bool pending = false;      // saw a class/struct head, awaiting '{' or ';'
+  bool name_locked = false;  // past ':' — identifiers now name bases
+  std::string pending_name;
+  int pending_parens = 0;  // attribute-macro args in the head
+  std::string prev_tok;
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    if (!stack.empty()) {
+      // Members sit at the innermost class's body depth; annotations can
+      // sit anywhere in its span (inline method bodies included).
+      if (depth == stack.back().body_depth) {
+        scan_mutex_member(line, n, stack.back());
+      }
+      collect_annotation_refs(line, stack.back());
+    }
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (is_ident_char(c)) {
+        const std::size_t s = i;
+        while (i < line.size() && is_ident_char(line[i])) ++i;
+        const std::string tok = line.substr(s, i - s);
+        if ((tok == "class" || tok == "struct") && prev_tok != "enum") {
+          pending = true;
+          name_locked = false;
+          pending_name.clear();
+          pending_parens = 0;
+        } else if (pending && !name_locked && pending_parens == 0 &&
+                   tok != "final" && tok != "alignas") {
+          pending_name = tok;  // last head identifier wins (skips macros)
+        }
+        prev_tok = tok;
+        continue;
+      }
+      if (pending) {
+        if (c == '(') {
+          ++pending_parens;
+        } else if (c == ')') {
+          if (pending_parens > 0) --pending_parens;
+        } else if (pending_parens == 0) {
+          const char prev = i > 0 ? line[i - 1] : '\0';
+          const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+          if (c == ';') {
+            pending = false;  // forward declaration
+          } else if (c == ':' && prev != ':' && next != ':') {
+            name_locked = true;  // base clause begins
+          } else if ((c == '<' || c == '>' || c == '=') && !name_locked) {
+            pending = false;  // `template <class T>` / alias, not a head
+          } else if (c == '{') {
+            ++depth;
+            ClassInfo ci;
+            ci.name = pending_name.empty() ? "<anonymous>" : pending_name;
+            ci.body_depth = depth;
+            stack.push_back(std::move(ci));
+            pending = false;
+            ++i;
+            continue;
+          }
+        }
+      }
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (!stack.empty() && depth < stack.back().body_depth) {
+          done.push_back(std::move(stack.back()));
+          stack.pop_back();
+        }
+      }
+      ++i;
+    }
+  }
+  // Unterminated classes (truncated file): keep what was collected.
+  for (auto& ci : stack) done.push_back(std::move(ci));
+  return done;
+}
+
 void rule_seq_compare(const FileText& f, std::vector<Finding>& out) {
   if (ends_with(normalized(f.path), "net/seq.h")) return;
   for (std::size_t n = 0; n < f.code.size(); ++n) {
@@ -379,15 +585,6 @@ void rule_relaxed_atomic(const FileText& f, std::vector<Finding>& out) {
                      "a stronger ordering"});
     }
   }
-}
-
-bool word_at(const std::string& line, std::size_t pos,
-             const std::string& word) {
-  if (line.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && is_ident_char(line[pos - 1])) return false;
-  const std::size_t end = pos + word.size();
-  if (end < line.size() && is_ident_char(line[end])) return false;
-  return true;
 }
 
 bool word_then_paren(const std::string& line, const std::string& word) {
@@ -649,6 +846,163 @@ void rule_trace_retain(const FileText& f, std::vector<Finding>& out) {
   }
 }
 
+void rule_mutex_annotation(const FileAnalysis& a, std::vector<Finding>& out) {
+  // src/util/ hosts the annotated wrapper itself (util::Mutex's own
+  // std::mutex member is the one sanctioned raw lock); everywhere else in
+  // src/ a mutex member that no annotation references is a capability the
+  // analysis cannot check anything against.
+  const FileText& f = a.text;
+  if (!path_contains(f.path, "src/") || path_contains(f.path, "util/")) {
+    return;
+  }
+  for (const auto& cls : a.classes) {
+    for (const auto& [name, line] : cls.mutex_members) {
+      if (cls.annotation_refs.count(name) > 0) continue;
+      out.push_back(
+          {f.path, line + 1, "mutex-annotation",
+           "class " + cls.name + " declares mutex member `" + name +
+               "` but no TAPO_GUARDED_BY/TAPO_REQUIRES/TAPO_ACQUIRE/"
+               "TAPO_EXCLUDES annotation in the class references it; an "
+               "unreferenced capability guards nothing -Wthread-safety can "
+               "check (see src/util/thread_annotations.h)"});
+    }
+  }
+}
+
+void rule_lock_discipline(const FileAnalysis& a, std::vector<Finding>& out) {
+  // util/ paths (src/util/) are the sanctioned home of the raw
+  // primitives: the annotated wrappers must be built out of something.
+  const FileText& f = a.text;
+  if (path_contains(f.path, "util/")) return;
+  static const std::vector<std::string> kPrimitives = {
+      "std::mutex",       "std::timed_mutex",
+      "std::recursive_mutex", "std::shared_mutex",
+      "std::lock_guard",  "std::unique_lock",
+      "std::scoped_lock", "std::condition_variable"};
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    for (const auto& prim : kPrimitives) {
+      const std::size_t pos = line.find(prim);
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && is_ident_char(line[pos - 1])) continue;
+      out.push_back(
+          {f.path, n + 1, "lock-discipline",
+           prim + " outside util/; use the annotated util::Mutex/"
+                  "util::MutexLock/util::CondVar (src/util/mutex.h) so "
+                  "Clang's -Wthread-safety sees the acquisition"});
+      break;  // one finding per line is enough
+    }
+  }
+}
+
+// ------------------------------------------------------------ registry
+
+using RuleFn = void (*)(const FileAnalysis&, std::vector<Finding>&);
+
+struct RuleSpec {
+  const char* name;
+  RuleFn fn;
+};
+
+/// Every per-file rule, in execution order. stale-allow is not here: it is
+/// a post-pass over the other rules' pre-suppression output (and over the
+/// pragma text itself), run last by lint_file().
+const std::vector<RuleSpec>& rule_registry() {
+  static const std::vector<RuleSpec> kRules = {
+      {"seq-compare",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_seq_compare(a.text, out);
+       }},
+      {"relaxed-atomic",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_relaxed_atomic(a.text, out);
+       }},
+      {"raw-rand",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_raw_rand(a.text, out);
+       }},
+      {"trace-side-effect",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_trace_side_effect(a.text, out);
+       }},
+      {"pragma-once",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_pragma_once(a.text, out);
+       }},
+      {"naked-parse",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_naked_parse(a.text, out);
+       }},
+      {"config-mutation",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_config_mutation(a.text, out);
+       }},
+      {"raw-struct-io",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_raw_struct_io(a.text, out);
+       }},
+      {"trace-retain",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_trace_retain(a.text, out);
+       }},
+      {"mutex-annotation", rule_mutex_annotation},
+      {"lock-discipline", rule_lock_discipline},
+  };
+  return kRules;
+}
+
+/// Every rule name a pragma or fixture may legally reference.
+std::vector<std::string> all_rule_names() {
+  std::vector<std::string> names;
+  for (const auto& rule : rule_registry()) names.emplace_back(rule.name);
+  names.emplace_back("stale-allow");
+  return names;
+}
+
+/// Post-pass: audits every `tapo-lint: allow(<rule>)` pragma against the
+/// pre-suppression findings in `out`. A pragma naming an unknown rule, or
+/// one whose rule fires neither on its own line nor the line below, is a
+/// stale-allow finding at the pragma's line. Must run after every rule in
+/// the registry; its findings are exempt from suppression (allowing away
+/// the suppression auditor would defeat it).
+void rule_stale_allow(const FileText& f, std::vector<Finding>& out) {
+  static const std::set<std::string> kKnown = [] {
+    const auto names = all_rule_names();
+    return std::set<std::string>(names.begin(), names.end());
+  }();
+  const std::size_t pre_existing = out.size();
+  const std::string kKey = "tapo-lint: allow(";
+  for (std::size_t m = 0; m < f.raw.size(); ++m) {
+    const std::string& line = f.raw[m];
+    for (std::size_t pos = line.find(kKey); pos != std::string::npos;
+         pos = line.find(kKey, pos + 1)) {
+      const std::size_t start = pos + kKey.size();
+      const std::size_t end = line.find(')', start);
+      if (end == std::string::npos) continue;
+      const std::string rule = line.substr(start, end - start);
+      if (kKnown.count(rule) == 0) {
+        out.push_back({f.path, m + 1, "stale-allow",
+                       "allow(" + rule +
+                           ") names a rule this linter does not have; fix "
+                           "the name or delete the pragma"});
+        continue;
+      }
+      bool live = false;
+      for (std::size_t k = 0; k < pre_existing && !live; ++k) {
+        live = out[k].rule == rule &&
+               (out[k].line == m + 1 || out[k].line == m + 2);
+      }
+      if (!live) {
+        out.push_back({f.path, m + 1, "stale-allow",
+                       "allow(" + rule +
+                           ") suppresses nothing — the rule does not fire "
+                           "on this line or the one below; delete the "
+                           "pragma so suppressions cannot rot"});
+      }
+    }
+  }
+}
+
 /// Rules suppressed on line `n` (0-based) via `tapo-lint: allow(<rule>)` on
 /// the same line or the line directly above.
 std::set<std::string> suppressions_for_line(const FileText& f, std::size_t n) {
@@ -675,22 +1029,18 @@ std::vector<Finding> lint_file(const std::string& path) {
   }
   std::stringstream ss;
   ss << in.rdbuf();
-  const FileText f = strip_comments(path, ss.str());
+  FileAnalysis a;
+  a.text = strip_comments(path, ss.str());
+  a.classes = build_class_table(a.text);
+  const FileText& f = a.text;
 
   std::vector<Finding> found;
-  rule_seq_compare(f, found);
-  rule_relaxed_atomic(f, found);
-  rule_raw_rand(f, found);
-  rule_trace_side_effect(f, found);
-  rule_pragma_once(f, found);
-  rule_naked_parse(f, found);
-  rule_config_mutation(f, found);
-  rule_raw_struct_io(f, found);
-  rule_trace_retain(f, found);
+  for (const auto& rule : rule_registry()) rule.fn(a, found);
+  rule_stale_allow(f, found);  // audits the pre-suppression output; last
 
   std::vector<Finding> kept;
   for (const auto& finding : found) {
-    if (finding.line > 0) {
+    if (finding.rule != "stale-allow" && finding.line > 0) {
       const auto allowed = suppressions_for_line(f, finding.line - 1);
       if (allowed.count(finding.rule) > 0) continue;
     }
@@ -736,10 +1086,16 @@ int run_lint(const std::vector<std::string>& files) {
 }
 
 /// Fixture mode: `// expect-lint: <rule>` marks the line where a finding
-/// must fire. Any missing expected finding or any unexpected finding fails.
+/// must fire. Any missing expected finding or any unexpected finding
+/// fails. On top of the per-line matching, every registered rule must be
+/// exercised by at least one bad fixture — a rule nothing triggers is a
+/// rule whose regressions nothing would catch — and the per-rule counts
+/// are printed as a one-line coverage summary.
 int run_self_test(const std::string& dir) {
   int failures = 0;
   std::size_t checked = 0;
+  std::map<std::string, std::size_t> coverage;
+  for (const auto& name : all_rule_names()) coverage[name] = 0;
   for (const auto& file : collect_tree(dir)) {
     std::ifstream in(file, std::ios::binary);
     std::stringstream ss;
@@ -768,10 +1124,18 @@ int run_self_test(const std::string& dir) {
 
     for (const auto& [line, rule] : expected) {
       ++checked;
+      if (coverage.count(rule) == 0) {
+        std::printf(
+            "SELF-TEST FAIL %s:%zu: expectation names unknown rule [%s]\n",
+            file.c_str(), line, rule.c_str());
+        ++failures;
+      }
       if (actual.count({line, rule}) == 0) {
         std::printf("SELF-TEST FAIL %s:%zu: expected [%s], not reported\n",
                     file.c_str(), line, rule.c_str());
         ++failures;
+      } else if (coverage.count(rule) > 0) {
+        ++coverage[rule];  // exercised: expected AND actually fired
       }
     }
     for (const auto& [line, rule] : actual) {
@@ -782,6 +1146,17 @@ int run_self_test(const std::string& dir) {
       }
     }
   }
+  std::string summary = "tapo_lint rule coverage:";
+  for (const auto& name : all_rule_names()) {
+    summary += " " + name + "=" + std::to_string(coverage[name]);
+    if (coverage[name] == 0) {
+      std::printf(
+          "SELF-TEST FAIL rule [%s] has no bad fixture exercising it\n",
+          name.c_str());
+      ++failures;
+    }
+  }
+  std::printf("%s\n", summary.c_str());
   std::printf("tapo_lint self-test: %zu expectation%s, %d failure%s\n",
               checked, checked == 1 ? "" : "s", failures,
               failures == 1 ? "" : "s");
