@@ -1,0 +1,343 @@
+#include "sim/chaos.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace tapo::sim {
+
+namespace {
+
+void require(bool ok, const char* msg) {
+  if (!ok) throw std::invalid_argument(msg);
+}
+
+void require_rate(double rate, Duration duration, const char* what) {
+  if (rate < 0.0) {
+    throw std::invalid_argument(std::string("ChaosConfig: ") + what +
+                                " rate must be >= 0");
+  }
+  if (rate > 0.0 && duration <= Duration::zero()) {
+    throw std::invalid_argument(std::string("ChaosConfig: ") + what +
+                                " duration must be positive when enabled");
+  }
+}
+
+}  // namespace
+
+ChaosConfig& ChaosConfig::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+ChaosConfig& ChaosConfig::with_reorder_storms(double rate, Duration duration,
+                                              double prob, Duration hold) {
+  require_rate(rate, duration, "reorder storm");
+  require(prob >= 0.0 && prob <= 1.0,
+          "ChaosConfig: reorder_prob must be in [0, 1]");
+  require(hold > Duration::zero(),
+          "ChaosConfig: reorder_hold must be positive");
+  reorder_storm_rate = rate;
+  reorder_storm_duration = duration;
+  reorder_prob = prob;
+  reorder_hold = hold;
+  return *this;
+}
+
+ChaosConfig& ChaosConfig::with_ack_loss(double rate, Duration duration,
+                                        double prob) {
+  require_rate(rate, duration, "ACK loss");
+  require(prob >= 0.0 && prob <= 1.0,
+          "ChaosConfig: ack_loss_prob must be in [0, 1]");
+  ack_loss_rate = rate;
+  ack_loss_duration = duration;
+  ack_loss_prob = prob;
+  return *this;
+}
+
+ChaosConfig& ChaosConfig::with_ack_compression(double rate, Duration duration) {
+  require_rate(rate, duration, "ACK compression");
+  ack_compress_rate = rate;
+  ack_compress_duration = duration;
+  return *this;
+}
+
+ChaosConfig& ChaosConfig::with_rwnd_flaps(double rate, Duration duration) {
+  require_rate(rate, duration, "rwnd flap");
+  rwnd_flap_rate = rate;
+  rwnd_flap_duration = duration;
+  return *this;
+}
+
+ChaosConfig& ChaosConfig::with_rtt_spikes(double rate, Duration duration,
+                                          Duration extra) {
+  require_rate(rate, duration, "RTT spike");
+  require(extra > Duration::zero(),
+          "ChaosConfig: rtt_spike_extra must be positive");
+  rtt_spike_rate = rate;
+  rtt_spike_duration = duration;
+  rtt_spike_extra = extra;
+  return *this;
+}
+
+ChaosConfig& ChaosConfig::with_blackholes(double rate, Duration duration) {
+  require_rate(rate, duration, "blackhole");
+  blackhole_rate = rate;
+  blackhole_duration = duration;
+  return *this;
+}
+
+ChaosConfig& ChaosConfig::with_retrans_drops(double prob) {
+  require(prob >= 0.0 && prob < 1.0,
+          "ChaosConfig: retrans_drop_prob must be in [0, 1) — a probability "
+          "of 1 would drop every retransmission forever and the flow could "
+          "never complete");
+  retrans_drop_prob = prob;
+  return *this;
+}
+
+void ChaosConfig::validate() const {
+  require_rate(reorder_storm_rate, reorder_storm_duration, "reorder storm");
+  require_rate(ack_loss_rate, ack_loss_duration, "ACK loss");
+  require_rate(ack_compress_rate, ack_compress_duration, "ACK compression");
+  require_rate(rwnd_flap_rate, rwnd_flap_duration, "rwnd flap");
+  require_rate(rtt_spike_rate, rtt_spike_duration, "RTT spike");
+  require_rate(blackhole_rate, blackhole_duration, "blackhole");
+  require(reorder_prob >= 0.0 && reorder_prob <= 1.0,
+          "ChaosConfig: reorder_prob must be in [0, 1]");
+  // tapo-lint: allow(seq-compare) — a drop probability, not a sequence number
+  require(ack_loss_prob >= 0.0 && ack_loss_prob <= 1.0,
+          "ChaosConfig: ack_loss_prob must be in [0, 1]");
+  require(retrans_drop_prob >= 0.0 && retrans_drop_prob < 1.0,
+          "ChaosConfig: retrans_drop_prob must be in [0, 1)");
+  if (reorder_storm_rate > 0.0) {
+    require(reorder_hold > Duration::zero(),
+            "ChaosConfig: reorder_hold must be positive");
+  }
+  if (rtt_spike_rate > 0.0) {
+    require(rtt_spike_extra > Duration::zero(),
+            "ChaosConfig: rtt_spike_extra must be positive");
+  }
+}
+
+void ChaosStats::merge(const ChaosStats& o) {
+  episodes += o.episodes;
+  reordered += o.reordered;
+  acks_dropped += o.acks_dropped;
+  acks_compressed += o.acks_compressed;
+  rwnd_rewrites += o.rwnd_rewrites;
+  delayed += o.delayed;
+  blackholed += o.blackholed;
+  retrans_dropped += o.retrans_dropped;
+}
+
+const std::vector<ChaosScenario>& ChaosScenario::catalog() {
+  static const std::vector<ChaosScenario> kCatalog = [] {
+    std::vector<ChaosScenario> v;
+    v.push_back({"reorder-storm",
+                 ChaosConfig{}.with_reorder_storms(
+                     0.8, Duration::millis(400), 0.5, Duration::millis(40))});
+    v.push_back({"ack-squeeze",
+                 ChaosConfig{}
+                     .with_ack_loss(0.6, Duration::millis(250), 0.9)
+                     .with_ack_compression(0.6, Duration::millis(150))});
+    v.push_back({"rwnd-flap",
+                 ChaosConfig{}.with_rwnd_flaps(0.5, Duration::millis(500))});
+    v.push_back({"rtt-quake",
+                 ChaosConfig{}.with_rtt_spikes(0.7, Duration::millis(300),
+                                               Duration::millis(250))});
+    v.push_back({"blackhole",
+                 ChaosConfig{}.with_blackholes(0.3, Duration::millis(350))});
+    v.push_back(
+        {"retrans-reaper", ChaosConfig{}.with_retrans_drops(0.5)});
+    v.push_back({"everything",
+                 ChaosConfig{}
+                     .with_reorder_storms(0.4, Duration::millis(300), 0.4,
+                                          Duration::millis(30))
+                     .with_ack_loss(0.3, Duration::millis(200), 0.8)
+                     .with_ack_compression(0.3, Duration::millis(120))
+                     .with_rwnd_flaps(0.25, Duration::millis(400))
+                     .with_rtt_spikes(0.3, Duration::millis(250),
+                                      Duration::millis(200))
+                     .with_blackholes(0.15, Duration::millis(300))
+                     .with_retrans_drops(0.3)});
+    return v;
+  }();
+  return kCatalog;
+}
+
+const ChaosScenario* ChaosScenario::by_name(std::string_view name) {
+  for (const auto& s : catalog()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ChaosInjector::ChaosInjector(Simulator& sim, Link& data_link, Link& ack_link,
+                             ChaosConfig config)
+    : sim_(sim),
+      data_link_(data_link),
+      ack_link_(ack_link),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  config_.validate();
+}
+
+void ChaosInjector::count_injected(const char* kind) {
+  if (!telemetry::metrics_enabled()) return;
+  auto& c = telemetry::Registry::instance().counter(
+      "tapo_chaos_injected_total", {{"kind", kind}});
+  c.add(1);
+}
+
+double ChaosInjector::rate_for(Episode e) const {
+  switch (e) {
+    case kReorder: return config_.reorder_storm_rate;
+    case kAckLoss: return config_.ack_loss_rate;
+    case kAckCompress: return config_.ack_compress_rate;
+    case kRwndFlap: return config_.rwnd_flap_rate;
+    case kRttSpike: return config_.rtt_spike_rate;
+    case kBlackhole: return config_.blackhole_rate;
+    case kEpisodeKinds: break;
+  }
+  return 0.0;
+}
+
+Duration ChaosInjector::duration_for(Episode e) const {
+  switch (e) {
+    case kReorder: return config_.reorder_storm_duration;
+    case kAckLoss: return config_.ack_loss_duration;
+    case kAckCompress: return config_.ack_compress_duration;
+    case kRwndFlap: return config_.rwnd_flap_duration;
+    case kRttSpike: return config_.rtt_spike_duration;
+    case kBlackhole: return config_.blackhole_duration;
+    case kEpisodeKinds: break;
+  }
+  return Duration::zero();
+}
+
+void ChaosInjector::attach(std::function<bool()> active) {
+  active_ = std::move(active);
+  inner_data_ = data_link_.swap_deliver(
+      [this](const net::CapturedPacket& pkt) { on_data_packet(pkt); });
+  inner_ack_ = ack_link_.swap_deliver(
+      [this](const net::CapturedPacket& pkt) { on_ack_packet(pkt); });
+  for (int e = 0; e < kEpisodeKinds; ++e) {
+    if (rate_for(static_cast<Episode>(e)) > 0.0) {
+      schedule_next(static_cast<Episode>(e));
+    }
+  }
+}
+
+void ChaosInjector::schedule_next(Episode e) {
+  const Duration gap =
+      Duration::seconds(rng_.exponential(1.0 / rate_for(e)));
+  sim_.schedule(gap, [this, e] {
+    if (active_ && !active_()) return;  // flow done: let the chain die out
+    begin(e);
+  });
+}
+
+void ChaosInjector::begin(Episode e) {
+  episode_on_[e] = true;
+  ++stats_.episodes;
+  sim_.schedule(duration_for(e), [this, e] { end(e); });
+}
+
+void ChaosInjector::end(Episode e) {
+  episode_on_[e] = false;
+  if (e == kAckCompress && !held_acks_.empty()) {
+    // Release the compressed burst in arrival (FIFO) order. This happens
+    // even when the flow finished mid-episode — held packets are never
+    // silently swallowed.
+    std::vector<net::CapturedPacket> burst;
+    burst.swap(held_acks_);
+    for (auto& pkt : burst) {
+      pkt.timestamp = sim_.now();
+      if (inner_ack_) inner_ack_(pkt);
+    }
+  }
+  if (!active_ || active_()) schedule_next(e);
+}
+
+void ChaosInjector::deliver_later(bool data_path, net::CapturedPacket pkt,
+                                  Duration extra) {
+  sim_.schedule(extra, [this, data_path, pkt]() mutable {
+    pkt.timestamp = sim_.now();
+    const Link::DeliverFn& inner = data_path ? inner_data_ : inner_ack_;
+    if (inner) inner(pkt);
+  });
+}
+
+void ChaosInjector::on_data_packet(const net::CapturedPacket& pkt) {
+  if (episode_on_[kBlackhole]) {
+    ++stats_.blackholed;
+    count_injected("blackhole");
+    return;
+  }
+  if (config_.retrans_drop_prob > 0.0 && pkt.payload_len > 0) {
+    const net::Seq32 end = pkt.end_seq();
+    const bool retrans = seen_data_ && net::before(pkt.tcp.seq, high_end_);
+    if (!seen_data_ || net::after(end, high_end_)) {
+      high_end_ = end;
+      seen_data_ = true;
+    }
+    if (retrans && rng_.chance(config_.retrans_drop_prob)) {
+      ++stats_.retrans_dropped;
+      count_injected("retrans_drop");
+      return;
+    }
+  }
+  if (episode_on_[kRttSpike]) {
+    ++stats_.delayed;
+    count_injected("rtt_spike");
+    deliver_later(/*data_path=*/true, pkt, config_.rtt_spike_extra);
+    return;
+  }
+  if (episode_on_[kReorder] && pkt.payload_len > 0 &&
+      rng_.chance(config_.reorder_prob)) {
+    ++stats_.reordered;
+    count_injected("reorder");
+    deliver_later(/*data_path=*/true, pkt, config_.reorder_hold);
+    return;
+  }
+  if (inner_data_) inner_data_(pkt);
+}
+
+void ChaosInjector::on_ack_packet(const net::CapturedPacket& pkt) {
+  if (episode_on_[kBlackhole]) {
+    ++stats_.blackholed;
+    count_injected("blackhole");
+    return;
+  }
+  const bool pure_ack =
+      pkt.tcp.flags.ack && !pkt.tcp.flags.syn && pkt.payload_len == 0;
+  if (episode_on_[kAckLoss] && pure_ack &&
+      rng_.chance(config_.ack_loss_prob)) {
+    ++stats_.acks_dropped;
+    count_injected("ack_loss");
+    return;
+  }
+  net::CapturedPacket out = pkt;
+  if (episode_on_[kRwndFlap] && pkt.tcp.flags.ack && !pkt.tcp.flags.syn) {
+    out.tcp.window = 0;
+    ++stats_.rwnd_rewrites;
+    count_injected("rwnd_flap");
+  }
+  if (episode_on_[kAckCompress] && pure_ack) {
+    ++stats_.acks_compressed;
+    count_injected("ack_compress");
+    held_acks_.push_back(out);
+    return;
+  }
+  if (episode_on_[kRttSpike]) {
+    ++stats_.delayed;
+    count_injected("rtt_spike");
+    deliver_later(/*data_path=*/false, out, config_.rtt_spike_extra);
+    return;
+  }
+  if (inner_ack_) inner_ack_(out);
+}
+
+}  // namespace tapo::sim

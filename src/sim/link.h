@@ -74,6 +74,15 @@ class Link {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Replaces the delivery handler and returns the previous one, so an
+  /// interceptor installed after construction (chaos injection, delivery
+  /// tracking) can wrap whatever the connection already registered.
+  DeliverFn swap_deliver(DeliverFn fn) {
+    DeliverFn old = std::move(deliver_);
+    deliver_ = std::move(fn);
+    return old;
+  }
+
   /// Injects a packet at the link head. Drops are silent (counted in stats).
   void send(net::CapturedPacket pkt);
 

@@ -63,9 +63,13 @@ std::size_t Simulator::run(std::size_t limit) {
 }
 
 std::size_t Simulator::run_until(TimePoint deadline) {
+  return run_until(deadline, SIZE_MAX);
+}
+
+std::size_t Simulator::run_until(TimePoint deadline, std::size_t max_events) {
   std::size_t executed = 0;
   HandlerMap::iterator it;
-  while (peek_runnable(it)) {
+  while (executed < max_events && peek_runnable(it)) {
     const Event ev = queue_.top();
     // Beyond the deadline: leave it queued (handler intact) for a later
     // run call — no re-push needed since we only peeked.
@@ -77,9 +81,19 @@ std::size_t Simulator::run_until(TimePoint deadline) {
     fn();
     ++executed;
   }
-  if (now_ < deadline) now_ = deadline;
+  // Budget exhaustion leaves virtual time at the last executed event, so a
+  // tripped watchdog reports where the run stuck rather than the deadline.
+  const bool exhausted = executed >= max_events && peek_runnable(it) &&
+                         queue_.top().when <= deadline;
+  if (!exhausted && now_ < deadline) now_ = deadline;
   count_executed(executed);
   return executed;
+}
+
+std::optional<TimePoint> Simulator::next_event_time() {
+  HandlerMap::iterator it;
+  if (!peek_runnable(it)) return std::nullopt;
+  return queue_.top().when;
 }
 
 void Timer::arm(Duration delay) {

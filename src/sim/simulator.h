@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,18 @@ class Simulator {
 
   /// Runs events with timestamp <= deadline.
   std::size_t run_until(TimePoint deadline);
+
+  /// Watchdog variant: runs events with timestamp <= deadline, but at most
+  /// `max_events` of them. Returns the number executed; a return value equal
+  /// to `max_events` with runnable work still pending (next_event_time() at
+  /// or before the deadline) means the budget tripped — the caller decides
+  /// whether that is divergence. Event order is identical to the unbudgeted
+  /// overload, so a budget that never trips changes nothing.
+  std::size_t run_until(TimePoint deadline, std::size_t max_events);
+
+  /// Timestamp of the earliest pending (non-cancelled) event, if any.
+  /// Non-const: lazily drops cancelled tombstones off the queue head.
+  std::optional<TimePoint> next_event_time();
 
   bool empty() const { return handlers_.empty(); }
   std::size_t pending() const { return handlers_.size(); }

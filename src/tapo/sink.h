@@ -23,8 +23,30 @@
 #include "net/trace.h"
 #include "tapo/analyzer.h"
 #include "tcp/connection.h"
+#include "tcp/invariants.h"
 
 namespace tapo {
+
+/// How one simulated flow ended. Completed flows may still be unhealthy
+/// (retransmissions, stalls) — this classifies only the *termination*, so a
+/// chaos harness can separate "slow but sound" from "wedged" from "the
+/// simulator itself ran away".
+enum class FlowStatus : std::uint8_t {
+  kCompleted,    // all requests served, server FIN acked
+  kTimeCapped,   // hit max_flow_time while nominally making progress
+  kRwndLimited,  // hit max_flow_time parked on a zero receive window
+  kSimDiverged,  // watchdog: per-flow event budget exhausted (runaway loop)
+};
+
+inline const char* to_string(FlowStatus s) {
+  switch (s) {
+    case FlowStatus::kCompleted: return "completed";
+    case FlowStatus::kTimeCapped: return "time_capped";
+    case FlowStatus::kRwndLimited: return "rwnd_limited";
+    case FlowStatus::kSimDiverged: return "sim_diverged";
+  }
+  return "?";
+}
 
 /// What one simulated flow produced (simulation-level view). Produced by
 /// workload::run_flow; a trace-driven producer (LiveAnalyzer) leaves the
@@ -35,6 +57,13 @@ struct FlowOutcome {
   std::uint32_t init_rwnd_bytes = 0;
   std::uint64_t response_bytes = 0;
   bool completed = false;
+  FlowStatus status = FlowStatus::kTimeCapped;
+  /// Byte-stream integrity verdict when FlowGuards::verify_delivery was on.
+  std::optional<tcp::DeliverySummary> delivery;
+  /// Invariant violations attributed to this flow (monitor enabled only).
+  std::uint64_t invariant_violations = 0;
+  /// Packets the chaos engine touched (0 when chaos was off).
+  std::uint64_t chaos_injected = 0;
   /// Server-NIC capture when workload::TraceCapture::kServerNic was
   /// requested (simulation) — absent for trace-driven producers.
   std::optional<net::PacketTrace> trace;

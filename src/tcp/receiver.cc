@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "tcp/invariants.h"
+
 namespace tapo::tcp {
 
 TcpReceiver::TcpReceiver(sim::Simulator& sim, ReceiverConfig config,
@@ -125,6 +127,12 @@ bool TcpReceiver::is_duplicate(Seq32 start, Seq32 end) const {
 }
 
 void TcpReceiver::on_data(Seq32 seq, std::uint32_t len) {
+  const Seq32 prev_rcv_nxt = rcv_nxt_;
+  on_data_impl(seq, len);
+  invariants::on_receiver_data(*this, prev_rcv_nxt, sim_.now());
+}
+
+void TcpReceiver::on_data_impl(Seq32 seq, std::uint32_t len) {
   assert(len > 0);
   const Seq32 end = seq + len;
   drain_app_reads();
@@ -211,6 +219,7 @@ void TcpReceiver::emit_ack(std::optional<net::SackBlock> dsack) {
   } else {
     advertised_zero_ = false;
   }
+  invariants::on_ack_spec(*this, spec, sim_.now());
   send_ack_(spec);
 }
 

@@ -81,7 +81,12 @@ class TcpReceiver {
   std::uint64_t zero_window_acks() const { return zero_window_acks_; }
   std::uint64_t dsacks_sent() const { return dsacks_sent_; }
 
+  /// Out-of-order ranges currently buffered, sorted by start and disjoint
+  /// (invariant-monitor introspection).
+  const std::vector<net::SackBlock>& ooo_blocks() const { return ooo_; }
+
  private:
+  void on_data_impl(Seq32 seq, std::uint32_t len);
   void drain_app_reads();
   void maybe_autotune();
   void emit_ack(std::optional<net::SackBlock> dsack);

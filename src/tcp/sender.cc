@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "tcp/invariants.h"
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
 
@@ -140,6 +141,7 @@ bool TcpSender::send_new_segment() {
 void TcpSender::retransmit(Seq32 seq, bool rto_retrans) {
   const SegmentState* seg = board_.find(seq);
   if (seg == nullptr) return;
+  invariants::on_retransmit(*this, seg->start, sim_.now());
   const bool is_fin = fin_sent_ && seg->start == fin_seq_;
   SegmentOut out;
   out.seq = seg->start;
@@ -369,6 +371,7 @@ void TcpSender::on_ack(Seq32 ack, std::uint32_t rwnd_bytes,
   trace_window();
   try_send();
   rearm_timer();
+  invariants::on_sender_event(*this, sim_.now());
   check_done();
 }
 
@@ -402,6 +405,11 @@ Duration TcpSender::tlp_pto() const {
 }
 
 void TcpSender::rearm_timer() {
+  rearm_timer_impl();
+  invariants::on_timer_rearmed(*this, sim_.now());
+}
+
+void TcpSender::rearm_timer_impl() {
   if (finished_) {
     timer_.cancel();
     timer_mode_ = TimerMode::kNone;
@@ -411,11 +419,16 @@ void TcpSender::rearm_timer() {
   // the episode is acked — only window probes (if any) are outstanding.
   // They are governed by the doubling persist timer, not the RTO, so a
   // long-closed window never collapses cwnd.
+  // An empty scoreboard trivially satisfies the "everything pre-episode is
+  // acked" condition; checking it explicitly also sidesteps snd_una()'s
+  // meaningless default before the first transmission (a zero window can
+  // arrive that early when a hostile path rewrites the handshake ACK).
   const bool persist_mode =
       zero_window_ &&
       (net::before(snd_nxt_, write_seq_) || (fin_pending_ && !fin_sent_) ||
        board_.packets_out() > 0) &&
-      net::at_or_after(board_.snd_una(), zero_window_seq_);
+      (board_.empty() ||
+       net::at_or_after(board_.snd_una(), zero_window_seq_));
   if (persist_mode) {
     if (timer_mode_ != TimerMode::kPersist || !timer_.armed()) {
       persist_interval_ = persist_interval_ == Duration::zero()
@@ -450,6 +463,7 @@ void TcpSender::rearm_timer() {
     }
     const Duration probe = rto_.srtt() * mult;
     if (probe < rto_.rto()) {
+      invariants::on_srto_armed(*this, probe, sim_.now());
       timer_mode_ = TimerMode::kSrtoProbe;
       timer_.arm(probe);
       return;
@@ -520,11 +534,14 @@ void TcpSender::fire_rto() {
   board_.mark_all_lost();
   dupacks_ = 0;
   cwnd_ = 1;
+  const Duration pre_backoff_rto = rto_.rto();
   rto_.backoff();
+  invariants::on_rto_backoff(*this, pre_backoff_rto, sim_.now());
   trace_window();
   retransmit_pending_lost();  // cwnd 1 -> retransmits exactly the head
   timer_mode_ = TimerMode::kRto;
   timer_.arm(rto_.rto());
+  invariants::on_sender_event(*this, sim_.now());
 }
 
 void TcpSender::fire_tlp() {
@@ -575,6 +592,8 @@ void TcpSender::fire_srto() {
     }
     retransmit(head->start, /*rto_retrans=*/false);
   }
+  const std::uint32_t cwnd_before = cwnd_;
+  const CaState state_before = state_;
   if (cwnd_ > config_.srto.t2 && state_ != CaState::kRecovery) {
     cwnd_ = std::max<std::uint32_t>(cwnd_ / 2, 1);
     ssthresh_ = std::max<std::uint32_t>(cwnd_, 2);
@@ -584,9 +603,11 @@ void TcpSender::fire_srto() {
     high_seq_ = snd_nxt_;
     prr_ack_counter_ = 0;
   }
+  invariants::on_srto_fired(*this, cwnd_before, state_before, sim_.now());
   trace_window();
   timer_mode_ = TimerMode::kRto;
   timer_.arm(rto_.rto());
+  invariants::on_sender_event(*this, sim_.now());
 }
 
 void TcpSender::fire_persist() {

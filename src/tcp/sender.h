@@ -156,6 +156,12 @@ class TcpSender {
   const Scoreboard& scoreboard() const { return board_; }
   const SenderStats& stats() const { return stats_; }
   bool finished() const { return finished_; }
+  const SenderConfig& config() const { return config_; }
+  bool zero_window() const { return zero_window_; }
+  Duration persist_interval() const { return persist_interval_; }
+  bool timer_armed() const { return timer_.armed(); }
+  bool fin_pending() const { return fin_pending_; }
+  bool fin_sent() const { return fin_sent_; }
 
  private:
   enum class TimerMode { kNone, kRto, kTlpProbe, kSrtoProbe, kPersist };
@@ -170,6 +176,7 @@ class TcpSender {
   void enter_loss();
   void maybe_complete_recovery();
   void rearm_timer();
+  void rearm_timer_impl();
   void on_timer_fire();
   void fire_rto();
   void fire_tlp();

@@ -20,6 +20,7 @@ enum class EventKind : std::uint8_t {
   kTlpProbe,     // a = PTO in us
   kSrtoProbe,    // a = probe seq, b = cwnd after conditional halving
   kPersistProbe, // a = probe seq
+  kInvariantViolation,  // a = tcp::InvariantKind, b = seq
   kCwnd,         // a = cwnd segments, b = ssthresh segments
   kCaState,      // a = tcp::CaState
   // -- analyzer (category kControl) --

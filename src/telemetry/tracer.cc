@@ -31,6 +31,7 @@ const char* to_string(EventKind k) {
     case EventKind::kTlpProbe: return "tlp_probe";
     case EventKind::kSrtoProbe: return "srto_probe";
     case EventKind::kPersistProbe: return "persist_probe";
+    case EventKind::kInvariantViolation: return "invariant_violation";
     case EventKind::kCwnd: return "cwnd";
     case EventKind::kCaState: return "ca_state";
     case EventKind::kStallSpan: return "stall";
@@ -53,6 +54,7 @@ unsigned category_of(EventKind k) {
     case EventKind::kTlpProbe:
     case EventKind::kSrtoProbe:
     case EventKind::kPersistProbe:
+    case EventKind::kInvariantViolation:
     case EventKind::kCwnd:
     case EventKind::kCaState:
     case EventKind::kStallSpan:

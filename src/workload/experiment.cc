@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "workload/runner.h"
 
 namespace tapo::workload {
@@ -68,6 +69,22 @@ ExperimentConfig& ExperimentConfig::with_impairments(
   return *this;
 }
 
+ExperimentConfig& ExperimentConfig::with_chaos(const sim::ChaosConfig& c) {
+  c.validate();
+  chaos = c;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_delivery_check(bool on) {
+  verify_delivery = on;
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::with_event_budget(std::size_t events) {
+  event_budget = events;
+  return *this;
+}
+
 void ExperimentConfig::validate() const {
   if (flows == 0) {
     throw std::invalid_argument(
@@ -85,10 +102,12 @@ void ExperimentConfig::validate() const {
         "ExperimentConfig: max_flow_time must be positive");
   }
   impairments.validate();
+  chaos.validate();
 }
 
 FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
-                     Duration max_flow_time, TraceCapture capture) {
+                     Duration max_flow_time, TraceCapture capture,
+                     const FlowGuards& guards) {
   FlowOutcome out;
   if (capture == TraceCapture::kServerNic) out.trace.emplace();
 
@@ -98,8 +117,39 @@ FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
   tcp::Connection conn(sim, down, up, scenario.connection,
                        out.trace ? net::TraceBuilder(*out.trace)
                                  : net::TraceBuilder());
+
+  // Attribute any invariant violations during this simulation to this flow.
+  tcp::InvariantMonitor::FlowScope invariant_scope(guards.flow_id);
+
+  // Shadow delivery tracker: wraps the down link's deliver handler so it
+  // sees exactly the data segments the client endpoint sees.
+  std::optional<tcp::DeliveryTracker> tracker;
+  sim::Link::DeliverFn tracker_inner;
+  if (guards.verify_delivery) {
+    // Stream offset 0 is server_isn + 1 (the SYN consumes one sequence).
+    tracker.emplace(net::advance(scenario.connection.server_isn, 1));
+    tracker_inner = down.swap_deliver([&](const net::CapturedPacket& pkt) {
+      if (pkt.payload_len > 0) tracker->on_data(pkt.tcp.seq, pkt.payload_len);
+      tracker_inner(pkt);
+    });
+  }
+
+  // Chaos wraps outermost (link -> chaos -> tracker -> connection): the
+  // tracker verifies what survives the hostile network, and the endpoints
+  // stay unaware of both observers.
+  std::optional<sim::ChaosInjector> chaos;
+  if (guards.chaos.enabled()) {
+    chaos.emplace(sim, down, up, guards.chaos);
+    chaos->attach([&conn] { return !conn.done(); });
+  }
+
   conn.start();
-  sim.run_until(sim.now() + max_flow_time);
+  const TimePoint deadline = sim.now() + max_flow_time;
+  const std::size_t budget =
+      guards.event_budget == 0 ? SIZE_MAX : guards.event_budget;
+  const std::size_t executed = sim.run_until(deadline, budget);
+  const bool diverged = executed >= budget && sim.next_event_time() &&
+                        *sim.next_event_time() <= deadline;
 
   out.metrics = conn.metrics();
   out.sender_stats = conn.sender().stats();
@@ -108,6 +158,23 @@ FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
     out.response_bytes += r.response_bytes;
   }
   out.completed = conn.metrics().completed;
+  if (diverged) {
+    out.status = FlowStatus::kSimDiverged;
+    if (telemetry::metrics_enabled()) {
+      static auto& trips = telemetry::Registry::instance().counter(
+          "tapo_sim_watchdog_trips_total");
+      trips.add(1);
+    }
+  } else if (out.completed) {
+    out.status = FlowStatus::kCompleted;
+  } else if (conn.sender().zero_window() || conn.sender().peer_rwnd() == 0) {
+    out.status = FlowStatus::kRwndLimited;
+  } else {
+    out.status = FlowStatus::kTimeCapped;
+  }
+  if (tracker) out.delivery = tracker->finalize(out.response_bytes);
+  if (chaos) out.chaos_injected = chaos->stats().total_injected();
+  out.invariant_violations = invariant_scope.violations();
   return out;
 }
 

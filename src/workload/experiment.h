@@ -20,6 +20,7 @@
 
 #include "net/trace.h"
 #include "sim/capture_channel.h"
+#include "sim/chaos.h"
 #include "tapo/analyzer.h"
 #include "tapo/sink.h"
 #include "tcp/connection.h"
@@ -33,6 +34,30 @@ namespace tapo::workload {
 enum class TraceCapture {
   kNone,       // simulate only; FlowOutcome::trace is empty
   kServerNic,  // keep the per-flow capture in FlowOutcome::trace
+};
+
+/// Watchdog default: generous enough that no legitimate flow (even a 600 s
+/// zero-window crawl) comes near it, small enough that a runaway event loop
+/// trips in well under a second of wall time.
+inline constexpr std::size_t kDefaultEventBudget = 20'000'000;
+
+/// Per-flow protective wrappers around the simulation: hostile-network
+/// chaos injection, byte-stream delivery verification, and the runaway-
+/// event watchdog. Default-constructed guards are inert — run_flow with
+/// `FlowGuards{}` is bit-identical to the pre-guard code path.
+struct FlowGuards {
+  /// Hostile-network scenario layered on the flow's links (off when
+  /// !chaos.enabled()). Seed it per flow (scenario_seed ^ flow_seed) so
+  /// parallel runs stay bit-identical to serial.
+  sim::ChaosConfig chaos;
+  /// Shadow-reassemble the client-delivered byte stream and report a
+  /// DeliverySummary in the outcome.
+  bool verify_delivery = false;
+  /// Per-flow simulator event budget; 0 = unlimited. Exhausting it marks
+  /// the flow FlowStatus::kSimDiverged instead of hanging the worker.
+  std::size_t event_budget = 0;
+  /// Attribution id for invariant violations (runner: run << 32 | index).
+  std::uint64_t flow_id = 0;
 };
 
 struct ExperimentConfig {
@@ -56,6 +81,15 @@ struct ExperimentConfig {
   /// impairments.seed ^ the flow's derived seed, so parallel runs stay
   /// deterministic and bit-identical to serial.
   sim::CaptureImpairments impairments;
+  /// Hostile-network chaos applied to every flow's links (sim::ChaosConfig;
+  /// default-off = bit-identical passthrough). Reseeded per flow exactly
+  /// like `impairments`.
+  sim::ChaosConfig chaos;
+  /// Shadow-verify each flow's delivered byte stream
+  /// (FlowOutcome::delivery).
+  bool verify_delivery = false;
+  /// Per-flow simulator event watchdog; 0 disables.
+  std::size_t event_budget = kDefaultEventBudget;
 
   // Fluent construction. Each setter validates eagerly where it can and
   // returns *this so configs read as one expression:
@@ -70,6 +104,9 @@ struct ExperimentConfig {
   ExperimentConfig& with_analyzer(analysis::AnalyzerConfig a);
   ExperimentConfig& with_capture(TraceCapture c);
   ExperimentConfig& with_impairments(const sim::CaptureImpairments& imp);
+  ExperimentConfig& with_chaos(const sim::ChaosConfig& c);  // validates
+  ExperimentConfig& with_delivery_check(bool on);
+  ExperimentConfig& with_event_budget(std::size_t events);  // 0 = unlimited
 
   /// Full validation, run by every runner entry point before any flow is
   /// simulated. Throws std::invalid_argument with a self-explanatory
@@ -101,10 +138,12 @@ struct ExperimentResult {
 
 /// Runs one flow scenario to completion (or the time cap) in a private
 /// simulator. With TraceCapture::kServerNic the captured packets are
-/// returned inside the outcome.
+/// returned inside the outcome. `guards` layers chaos injection, delivery
+/// verification, and the event watchdog on top; the default is inert.
 FlowOutcome run_flow(const FlowScenario& scenario, Rng link_rng,
                      Duration max_flow_time,
-                     TraceCapture capture = TraceCapture::kNone);
+                     TraceCapture capture = TraceCapture::kNone,
+                     const FlowGuards& guards = {});
 
 /// Compatibility entry point: runs the experiment (on `threads` workers;
 /// 1 = serial, 0 = all hardware threads) and buffers everything into an

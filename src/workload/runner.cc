@@ -98,9 +98,17 @@ RunStats ParallelRunner::run(FlowSink& sink) {
     if (config_.srto) scenario.connection.sender.srto = *config_.srto;
     const auto t1 = Clock::now();
 
+    FlowGuards guards;
+    guards.chaos = config_.chaos;
+    // Per-flow reseed of a private copy, exactly like `impairments` below:
+    // the validated base config stays untouched and any seed is legal.
+    guards.chaos.seed ^= seeds[i];
+    guards.verify_delivery = config_.verify_delivery;
+    guards.event_budget = config_.event_budget;
+    guards.flow_id = (run_id << 32) | i;
     FlowOutcome outcome = run_flow(
         scenario, flow_rng.split(), config_.max_flow_time,
-        need_capture ? TraceCapture::kServerNic : TraceCapture::kNone);
+        need_capture ? TraceCapture::kServerNic : TraceCapture::kNone, guards);
     if (config_.impairments.enabled() && outcome.trace) {
       // Degrade the pristine tap before anything downstream sees it, with
       // a per-flow channel seed so parallel stays bit-identical to serial.

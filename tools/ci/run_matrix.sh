@@ -36,6 +36,12 @@
 #            chunked-vs-batch bit-equivalence suites plus the
 #            streaming_scale peak-residency gate, so the chunk-lifetime
 #            and budget-eviction paths run under ASan
+#   chaos    `chaos`-labeled tests under BOTH -fsanitize=address and
+#            -fsanitize=undefined: the chaos-engine gate suites
+#            (tests/chaos_test.cc) and the differential storm harness
+#            (bench/chaos_storm.cc) — hostile-network paths are exactly
+#            where latent memory and UB bugs hide, so the storm runs
+#            instrumented both ways without repeating the full sweep
 #
 
 # Each configuration gets its own build tree under build-ci/ so sanitizer
@@ -47,7 +53,7 @@ cd "$(dirname "$0")/../.."
 JOBS="${JOBS:-$(nproc)}"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(lint default asan ubsan tsan thread-safety robustness fleet streaming)
+  CONFIGS=(lint default asan ubsan tsan thread-safety robustness fleet streaming chaos)
 fi
 
 build_and_test() {
@@ -113,6 +119,12 @@ for cfg in "${CONFIGS[@]}"; do
     robustness) build_and_test robustness address robustness ;;
     fleet)   build_and_test fleet address fleet ;;
     streaming) build_and_test streaming address streaming ;;
+    chaos)
+      # The storm harness reuses the asan/ubsan build trees' flags but gets
+      # its own directories so the label runs stay independently cacheable.
+      build_and_test chaos-asan address chaos
+      build_and_test chaos-ubsan undefined chaos
+      ;;
     *)
       echo "unknown configuration: ${cfg}" >&2
       exit 2

@@ -1,0 +1,27 @@
+// Fixture: the invariant monitor may only *observe* protocol objects.
+// The path contains src/tcp/invariants, so the invariant-pure rule is in
+// scope; every mutable handle to an observed type must fire.
+#pragma once
+
+namespace tapo::tcp {
+
+class TcpSender;
+class TcpReceiver;
+class Scoreboard;
+class RtoEstimator;
+
+void hook_mutable_ref(TcpSender& sender);  // expect-lint: invariant-pure
+
+void hook_mutable_ptr(TcpReceiver* receiver);  // expect-lint: invariant-pure
+
+// A const first parameter does not sanctify a mutable second one.
+void hook_mixed(const TcpSender& sender,
+                Scoreboard* board);  // expect-lint: invariant-pure
+
+void hook_qualified(tapo::tcp::RtoEstimator& rto);  // expect-lint: invariant-pure
+
+// The sanctioned observer shapes: const references and const pointers.
+void ok_hook(const TcpSender& sender, const Scoreboard& board);
+void ok_ptr(const TcpReceiver* receiver);
+
+}  // namespace tapo::tcp

@@ -81,6 +81,14 @@
 //                      annotated util::Mutex / util::MutexLock / util::
 //                      CondVar (src/util/mutex.h) so Clang's thread-safety
 //                      analysis sees every acquisition.
+//   invariant-pure     A non-const reference or pointer to an observed
+//                      protocol object (TcpSender, TcpReceiver, Scoreboard,
+//                      RtoEstimator, CongestionControl) in the invariant
+//                      monitor's files (src/tcp/invariants.*). Invariant
+//                      checks are pure observers: a mutable handle would
+//                      let a check perturb the very state machine it
+//                      audits, and the zero-cost-when-off contract (hooks
+//                      are side-effect-free) would silently break.
 //   stale-allow        A `tapo-lint: allow(<rule>)` pragma that suppresses
 //                      nothing — the named rule does not fire on that line
 //                      or the line below — or that names a rule this
@@ -846,6 +854,51 @@ void rule_trace_retain(const FileText& f, std::vector<Finding>& out) {
   }
 }
 
+void rule_invariant_pure(const FileText& f, std::vector<Finding>& out) {
+  // The invariant monitor observes the TCP machinery; it must never be able
+  // to mutate it. Inside src/tcp/invariants.* any reference/pointer to an
+  // observed protocol type has to be const — a mutable handle would let a
+  // "check" perturb the state machine it audits.
+  if (!path_contains(f.path, "src/tcp/invariants")) return;
+  static const std::vector<std::string> kObserved = {
+      "TcpSender", "TcpReceiver", "Scoreboard", "RtoEstimator",
+      "CongestionControl"};
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    for (const auto& type : kObserved) {
+      bool hit = false;
+      for (std::size_t pos = line.find(type); pos != std::string::npos;
+           pos = line.find(type, pos + 1)) {
+        if (!word_at(line, pos, type)) continue;
+        // `TypeName&` / `TypeName*` (a handle, not a value or mention)?
+        std::size_t i = pos + type.size();
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i >= line.size() || (line[i] != '&' && line[i] != '*')) continue;
+        // Walk left over namespace qualifiers to the word before the type;
+        // `const tcp::TcpSender&` is the sanctioned observer shape.
+        std::size_t j = pos;
+        while (j > 0 && (is_ident_char(line[j - 1]) || line[j - 1] == ':')) {
+          --j;
+        }
+        while (j > 0 && line[j - 1] == ' ') --j;
+        std::size_t word_end = j;
+        while (j > 0 && is_ident_char(line[j - 1])) --j;
+        if (line.substr(j, word_end - j) == "const") continue;
+        out.push_back(
+            {f.path, n + 1, "invariant-pure",
+             "non-const " + type +
+                 (line[i] == '&' ? "&" : "*") +
+                 " in the invariant monitor; checks are pure observers — "
+                 "take `const " + type + "&` so a check cannot mutate the "
+                 "state machine it audits"});
+        hit = true;
+        break;  // one finding per line per type is enough
+      }
+      if (hit) break;
+    }
+  }
+}
+
 void rule_mutex_annotation(const FileAnalysis& a, std::vector<Finding>& out) {
   // src/util/ hosts the annotated wrapper itself (util::Mutex's own
   // std::mutex member is the one sanctioned raw lock); everywhere else in
@@ -944,6 +997,10 @@ const std::vector<RuleSpec>& rule_registry() {
       {"trace-retain",
        [](const FileAnalysis& a, std::vector<Finding>& out) {
          rule_trace_retain(a.text, out);
+       }},
+      {"invariant-pure",
+       [](const FileAnalysis& a, std::vector<Finding>& out) {
+         rule_invariant_pure(a.text, out);
        }},
       {"mutex-annotation", rule_mutex_annotation},
       {"lock-discipline", rule_lock_discipline},
